@@ -1,0 +1,122 @@
+// Command qosbench regenerates every table and figure from the paper's
+// evaluation section (Section 5) on the simulated substrate.
+//
+// Usage:
+//
+//	qosbench [-run all|fig2|fig4|fig5|fig6|fig7|table1|table2]
+//	         [-seed N] [-duration D] [-series]
+//
+// -duration scales the measured portion of each experiment; the default
+// 0 selects each experiment's paper-scale length (30s for the DiffServ
+// figures, 300s for the reservation runs, 40 images for Table 2).
+// -series additionally dumps raw latency time series (the figures' line
+// data) for the priority experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, ablations, verify")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	duration := flag.Duration("duration", 0, "override experiment duration (0 = paper scale)")
+	series := flag.Bool("series", false, "dump raw latency series for fig4/fig5/fig6")
+	csv := flag.Bool("csv", false, "emit latency series as CSV instead of gnuplot-style text")
+	plot := flag.Bool("plot", false, "render ASCII plots of the figure series")
+	flag.Parse()
+
+	opt := experiments.Options{Seed: *seed, Duration: *duration}
+	start := time.Now()
+	ran := 0
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+
+	if want("fig2") {
+		fmt.Println(experiments.RunFigure2(opt).Render())
+		ran++
+	}
+	if want("fig4") {
+		r := experiments.RunFigure4(opt)
+		fmt.Println(r.Render())
+		if *plot {
+			fmt.Println(metrics.ASCIIPlot(r.NoTraffic.S1, 100, 10))
+			fmt.Println(metrics.ASCIIPlot(r.WithTraffic.S1, 100, 10))
+		}
+		if *series {
+			dumpSeries(*csv, r.NoTraffic.S1, r.WithTraffic.S1)
+		}
+		ran++
+	}
+	if want("fig5") {
+		r := experiments.RunFigure5(opt)
+		fmt.Println(r.Render())
+		if *series {
+			dumpSeries(*csv, r.NoTraffic.S1, r.NoTraffic.S2)
+		}
+		ran++
+	}
+	if want("fig6") {
+		r := experiments.RunFigure6(opt)
+		fmt.Println(r.Render())
+		if *plot {
+			fmt.Println(metrics.ASCIIPlot(r.Combined.S1, 100, 10))
+		}
+		if *series {
+			dumpSeries(*csv, r.Combined.S1, r.Combined.S2)
+		}
+		ran++
+	}
+	if want("fig7") {
+		fmt.Println(experiments.RunFigure7(opt).Render())
+		ran++
+	}
+	if want("table1") {
+		fmt.Println(experiments.RunTable1(opt).Render())
+		ran++
+	}
+	if want("table2") {
+		fmt.Println(experiments.RunTable2(opt).Render())
+		ran++
+	}
+	if want("ablations") {
+		fmt.Println(experiments.RenderAblations(experiments.RunAblations(opt)))
+		ran++
+	}
+	if *run == "verify" {
+		checks := experiments.Verify(opt)
+		fmt.Println(experiments.RenderChecks(checks))
+		for _, c := range checks {
+			if !c.OK {
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("qosbench: %d experiment(s) in %v wall time\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// dumpSeries prints latency series either as CSV or gnuplot-style text.
+func dumpSeries(csv bool, series ...*metrics.Series) {
+	for _, s := range series {
+		if csv {
+			if err := s.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			}
+		} else {
+			fmt.Println(experiments.RenderSeries(s))
+		}
+	}
+}

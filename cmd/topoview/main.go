@@ -1,0 +1,118 @@
+// Command topoview builds the evaluation topologies and dumps their
+// nodes, links, routes and reservation state — a debugging aid for the
+// simulated testbeds.
+//
+// Usage:
+//
+//	topoview [-topo diffserv|reservation]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+func main() {
+	topo := flag.String("topo", "diffserv", "topology to inspect: diffserv (figures 4-6) or reservation (figure 7 / table 1)")
+	flag.Parse()
+
+	var sys *core.System
+	switch *topo {
+	case "diffserv":
+		sys = diffservTopo()
+	case "reservation":
+		sys = reservationTopo()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	dump(sys)
+}
+
+func diffservTopo() *core.System {
+	sys := core.NewSystem(1)
+	sys.AddMachine("sender", rtos.HostConfig{Hz: 1e9})
+	sys.AddMachine("receiver", rtos.HostConfig{Hz: 1e9})
+	sys.AddMachine("crossgen", rtos.HostConfig{Hz: 1e9})
+	sys.AddRouter("router")
+	sys.Link("sender", "router", core.LinkSpec{Bps: 100e6, Delay: 100 * time.Microsecond, Profile: core.ProfileDiffServ})
+	sys.Link("crossgen", "router", core.LinkSpec{Bps: 100e6, Delay: 100 * time.Microsecond, Profile: core.ProfileDiffServ})
+	sys.Link("router", "receiver", core.LinkSpec{Bps: 10e6, Delay: 100 * time.Microsecond, Profile: core.ProfileDiffServ})
+	return sys
+}
+
+func reservationTopo() *core.System {
+	sys := core.NewSystem(1)
+	snd := sys.AddMachine("sender", rtos.HostConfig{Hz: 750e6})
+	rcv := sys.AddMachine("receiver", rtos.HostConfig{Hz: 750e6})
+	sys.Link("sender", "receiver", core.LinkSpec{Bps: 10e6, Delay: 500 * time.Microsecond, Profile: core.ProfileFullQoS})
+	// Demonstrate an installed reservation in the dump.
+	flow := sys.Net.NewFlowID()
+	sys.K.Go("reserve", func(p *sim.Proc) {
+		_, err := sys.Net.ReserveFlow(p, netsim.ReservationSpec{
+			Flow: flow, Src: snd.Node, Dst: rcv.Node, RateBps: 1.2e6,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reservation failed: %v\n", err)
+		}
+	})
+	sys.RunUntil(time.Second)
+	return sys
+}
+
+func dump(sys *core.System) {
+	nodes := metrics.NewTable("Nodes", "ID", "Name", "Kind")
+	for _, nd := range sys.Net.Nodes() {
+		kind := "host"
+		if nd.Router() {
+			kind = "router"
+		}
+		nodes.AddRow(fmt.Sprintf("%d", nd.ID()), nd.Name(), kind)
+	}
+	fmt.Println(nodes.Render())
+
+	links := metrics.NewTable("Links", "From", "To", "Bandwidth", "Delay", "Queue backlog", "Reserved")
+	for _, l := range sys.Net.Links() {
+		reserved := "n/a"
+		if rc, ok := l.Queue().(netsim.ReservationCapable); ok {
+			reserved = fmt.Sprintf("%.2f Mbps", rc.ReservedRate()/1e6)
+		}
+		links.AddRow(
+			l.From().Name(), l.To().Name(),
+			fmt.Sprintf("%.1f Mbps", l.Bps()/1e6),
+			l.Delay().String(),
+			fmt.Sprintf("%d B", l.Queue().Backlog()),
+			reserved,
+		)
+	}
+	fmt.Println(links.Render())
+
+	routes := metrics.NewTable("Routes (host pairs)", "From", "To", "Hops", "Path")
+	all := sys.Net.Nodes()
+	for _, a := range all {
+		for _, b := range all {
+			if a == b || a.Router() || b.Router() {
+				continue
+			}
+			path := sys.Net.Route(a.ID(), b.ID())
+			if path == nil {
+				routes.AddRow(a.Name(), b.Name(), "-", "unreachable")
+				continue
+			}
+			desc := a.Name()
+			for _, l := range path {
+				desc += " -> " + l.To().Name()
+			}
+			routes.AddRow(a.Name(), b.Name(), fmt.Sprintf("%d", len(path)), desc)
+		}
+	}
+	fmt.Println(routes.Render())
+}

@@ -1,0 +1,289 @@
+// Package avstreams implements the subset of the CORBA Audio/Video
+// Streaming Service the paper's application suite uses: stream endpoints
+// on sender and receiver hosts, an explicit bind step that establishes
+// the data path and can attach an RSVP bandwidth reservation to the
+// underlying network connection (exactly where the paper integrates
+// IntServ), per-stream QuO frame filtering, and delivery accounting.
+//
+// Video frames travel as datagrams fragmented at the MTU; a lost
+// fragment loses the frame, reproducing the testbed's UDP data path.
+package avstreams
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/video"
+)
+
+// framePacket is the wire payload of one video frame.
+type framePacket struct {
+	frame  video.Frame
+	sentAt sim.Time
+}
+
+// QoS describes the network QoS requested at bind time.
+type QoS struct {
+	// ReserveBps, when positive, attaches an RSVP reservation of this
+	// rate to the stream's path (the paper's full reservation is
+	// 1.2 Mbps, the partial one 670 Kbps).
+	ReserveBps float64
+	// BurstBytes is the reservation token-bucket depth; defaults to
+	// twice the largest frame the stream config produces.
+	BurstBytes int
+	// QueueBytes bounds the reservation's per-hop flow queue; zero
+	// picks the netsim default (4x the burst).
+	QueueBytes int
+	// DSCP marks the stream's packets (DiffServ prioritisation).
+	DSCP netsim.DSCP
+}
+
+// Service is the per-host A/V streaming service instance.
+type Service struct {
+	host *rtos.Host
+	net  *netsim.Network
+	ep   *transport.Endpoint
+
+	// SendCostFixed/SendCostPerKB model per-frame CPU spent on the
+	// sending host (encode/packetise); Recv* likewise on the receiver.
+	SendCostFixed time.Duration
+	SendCostPerKB time.Duration
+	RecvCostFixed time.Duration
+	RecvCostPerKB time.Duration
+}
+
+// NewService creates the service for host attached to node.
+func NewService(host *rtos.Host, net *netsim.Network, node *netsim.Node) *Service {
+	return &Service{
+		host:          host,
+		net:           net,
+		ep:            transport.NewEndpoint(net, node),
+		SendCostFixed: 30 * time.Microsecond,
+		SendCostPerKB: 5 * time.Microsecond,
+		RecvCostFixed: 30 * time.Microsecond,
+		RecvCostPerKB: 5 * time.Microsecond,
+	}
+}
+
+// Host returns the service's host.
+func (s *Service) Host() *rtos.Host { return s.host }
+
+// Endpoint returns the service's transport endpoint.
+func (s *Service) Endpoint() *transport.Endpoint { return s.ep }
+
+func (s *Service) frameCost(fixed, perKB time.Duration, size int) time.Duration {
+	return fixed + time.Duration(int64(perKB)*int64(size)/1024)
+}
+
+// FrameHandler consumes frames on the receiving side.
+type FrameHandler func(f video.Frame, sentAt, recvAt sim.Time)
+
+// Receiver is a stream sink endpoint.
+type Receiver struct {
+	svc     *Service
+	conn    *transport.DgramConn
+	port    uint16
+	Stats   *video.DeliveryStats
+	Latency []time.Duration
+	arrived []sim.Time
+	handler FrameHandler
+	prio    rtos.Priority
+}
+
+// ArrivalTimes returns the arrival time of each received frame, aligned
+// index-for-index with Latency.
+func (r *Receiver) ArrivalTimes() []sim.Time { return r.arrived }
+
+// InterArrivalJitter returns the mean and standard deviation of the
+// gaps between consecutive frame arrivals — the smoothness measure the
+// paper calls out as mattering more to human perception than raw frame
+// rate.
+func (r *Receiver) InterArrivalJitter() (mean, std time.Duration) {
+	if len(r.arrived) < 2 {
+		return 0, 0
+	}
+	n := float64(len(r.arrived) - 1)
+	var sum, sqSum float64
+	for i := 1; i < len(r.arrived); i++ {
+		gap := (r.arrived[i] - r.arrived[i-1]).Seconds()
+		sum += gap
+		sqSum += gap * gap
+	}
+	m := sum / n
+	variance := sqSum/n - m*m
+	if variance < 0 {
+		variance = 0
+	}
+	return time.Duration(m * float64(time.Second)),
+		time.Duration(math.Sqrt(variance) * float64(time.Second))
+}
+
+// CreateReceiver binds a receiving endpoint on port; frames are handed to
+// handler (which may be nil) from a dedicated thread at prio.
+func (s *Service) CreateReceiver(port uint16, prio rtos.Priority, handler FrameHandler) *Receiver {
+	r := &Receiver{
+		svc:     s,
+		conn:    s.ep.OpenDgram(port, 0),
+		port:    port,
+		Stats:   video.NewDeliveryStats(),
+		handler: handler,
+		prio:    prio,
+	}
+	s.host.Spawn(fmt.Sprintf("avrecv-%d", port), prio, r.loop)
+	return r
+}
+
+// Addr returns the receiver's network address.
+func (r *Receiver) Addr() netsim.Addr { return r.conn.LocalAddr() }
+
+// SetHandler replaces the receiver's frame handler (e.g. to wire a
+// distributor's forwarding path after the endpoints exist).
+func (r *Receiver) SetHandler(h FrameHandler) { r.handler = h }
+
+func (r *Receiver) loop(t *rtos.Thread) {
+	for {
+		m := r.conn.Recv(t.Proc())
+		fp, ok := m.Payload.(*framePacket)
+		if !ok {
+			continue
+		}
+		t.Compute(r.svc.frameCost(r.svc.RecvCostFixed, r.svc.RecvCostPerKB, fp.frame.Size))
+		now := t.Now()
+		r.Stats.RecordReceived(fp.frame, now)
+		r.Latency = append(r.Latency, time.Duration(now-fp.sentAt))
+		r.arrived = append(r.arrived, now)
+		if r.handler != nil {
+			r.handler(fp.frame, fp.sentAt, now)
+		}
+	}
+}
+
+// LatencySeconds returns the observed frame latencies in seconds.
+func (r *Receiver) LatencySeconds() []float64 {
+	out := make([]float64, len(r.Latency))
+	for i, d := range r.Latency {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Sender is a stream source endpoint.
+type Sender struct {
+	svc  *Service
+	conn *transport.DgramConn
+	port uint16
+}
+
+// CreateSender binds a sending endpoint on port.
+func (s *Service) CreateSender(port uint16) *Sender {
+	return &Sender{svc: s, conn: s.ep.OpenDgram(port, 0), port: port}
+}
+
+// Flow returns the sender's network flow id (the id RSVP reserves for).
+func (snd *Sender) Flow() netsim.FlowID { return snd.conn.Flow() }
+
+// Stream is an established (bound) flow from a sender to a receiver.
+type Stream struct {
+	sender *Sender
+	dst    netsim.Addr
+	resv   *netsim.Reservation
+	filter video.FilterLevel
+	Stats  *video.DeliveryStats
+
+	// FilteredFrames counts frames suppressed by the QuO filter.
+	FilteredFrames int64
+}
+
+// Bind establishes the stream to a receiver, optionally attaching an RSVP
+// reservation per qos. It must run on a simulation process (it blocks for
+// the signalling round trip).
+func (snd *Sender) Bind(p *sim.Proc, dst netsim.Addr, qos QoS) (*Stream, error) {
+	st := &Stream{
+		sender: snd,
+		dst:    dst,
+		Stats:  video.NewDeliveryStats(),
+	}
+	snd.conn.SetDSCP(qos.DSCP)
+	if qos.ReserveBps > 0 {
+		burst := qos.BurstBytes
+		if burst == 0 {
+			burst = 32 * 1024
+		}
+		src := snd.svc.ep.Node()
+		dstNode := snd.svc.net.Node(dst.Node)
+		resv, err := snd.svc.net.ReserveFlow(p, netsim.ReservationSpec{
+			Flow:       snd.conn.Flow(),
+			Src:        src,
+			Dst:        dstNode,
+			RateBps:    qos.ReserveBps,
+			BurstBytes: burst,
+			QueueBytes: qos.QueueBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("avstreams: bind reservation: %w", err)
+		}
+		st.resv = resv
+	}
+	return st, nil
+}
+
+// Reservation returns the attached reservation, or nil.
+func (st *Stream) Reservation() *netsim.Reservation { return st.resv }
+
+// SetFilter sets the QuO frame-filtering level; the next SendFrame
+// applies it. Contracts call this from transition callbacks.
+func (st *Stream) SetFilter(l video.FilterLevel) { st.filter = l }
+
+// Filter returns the current filtering level.
+func (st *Stream) Filter() video.FilterLevel { return st.filter }
+
+// SetDSCP re-marks the stream's packets (QuO adaptation knob).
+func (st *Stream) SetDSCP(d netsim.DSCP) { st.sender.conn.SetDSCP(d) }
+
+// SendFrame offers a frame to the stream from thread t. It returns false
+// if the frame was suppressed by the current filter level. Sending
+// consumes CPU on the sender.
+func (st *Stream) SendFrame(t *rtos.Thread, f video.Frame) bool {
+	if !st.filter.Admits(f.Type) {
+		st.FilteredFrames++
+		return false
+	}
+	svc := st.sender.svc
+	t.Compute(svc.frameCost(svc.SendCostFixed, svc.SendCostPerKB, f.Size))
+	now := t.Now()
+	st.Stats.RecordSent(f, now)
+	st.sender.conn.Send(st.dst, &transport.Message{
+		Payload: &framePacket{frame: f, sentAt: now},
+		Size:    f.Size,
+	})
+	return true
+}
+
+// Release tears down any attached reservation.
+func (st *Stream) Release() {
+	if st.resv != nil {
+		st.resv.Release()
+		st.resv = nil
+	}
+}
+
+// RunSource pumps frames from gen through the stream at the configured
+// frame rate for the given duration. It blocks the calling thread.
+func (st *Stream) RunSource(t *rtos.Thread, gen *video.Generator, dur time.Duration) {
+	interval := gen.Config().FrameInterval()
+	deadline := t.Now() + dur
+	next := t.Now()
+	for t.Now() < deadline {
+		f := gen.Next()
+		st.SendFrame(t, f)
+		next += interval
+		if sleep := next - t.Now(); sleep > 0 {
+			t.Sleep(sleep)
+		}
+	}
+}

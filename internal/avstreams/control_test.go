@@ -1,0 +1,66 @@
+package avstreams
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/rtos"
+	"repro/internal/video"
+)
+
+func TestBindViaControlChannel(t *testing.T) {
+	r := newRig(10e6)
+	recvORB := orb.New("recv", r.recvHost, r.net, r.recvSvc.Endpoint().Node(), orb.Config{})
+	sendORB := orb.New("send", r.sendHost, r.net, r.sendSvc.Endpoint().Node(), orb.Config{})
+
+	recv := r.recvSvc.CreateReceiver(5000, 50, nil)
+	ctrl, ctrlRef, err := r.recvSvc.ActivateControl(recvORB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.RegisterEndpoint("uav/video", recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.RegisterEndpoint("uav/video", recv); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+
+	sender := r.sendSvc.CreateSender(5001)
+	r.sendHost.Spawn("source", 50, func(th *rtos.Thread) {
+		st, err := sender.BindVia(th, sendORB, ctrlRef, "uav/video", QoS{ReserveBps: 1.4e6})
+		if err != nil {
+			t.Errorf("BindVia: %v", err)
+			return
+		}
+		if st.Reservation() == nil {
+			t.Error("reservation not attached through control bind")
+			return
+		}
+		st.RunSource(th, video.NewGenerator(video.StreamConfig{}), 2*time.Second)
+	})
+	r.k.RunUntil(5 * time.Second)
+	if recv.Stats.ReceivedTotal < 58 {
+		t.Fatalf("received %d frames via control-bound stream", recv.Stats.ReceivedTotal)
+	}
+}
+
+func TestBindViaUnknownFlow(t *testing.T) {
+	r := newRig(10e6)
+	recvORB := orb.New("recv", r.recvHost, r.net, r.recvSvc.Endpoint().Node(), orb.Config{})
+	sendORB := orb.New("send", r.sendHost, r.net, r.sendSvc.Endpoint().Node(), orb.Config{})
+	_, ctrlRef, err := r.recvSvc.ActivateControl(recvORB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := r.sendSvc.CreateSender(5001)
+	var bindErr error
+	r.sendHost.Spawn("source", 50, func(th *rtos.Thread) {
+		_, bindErr = sender.BindVia(th, sendORB, ctrlRef, "ghost", QoS{})
+	})
+	r.k.RunUntil(2 * time.Second)
+	if !errors.Is(bindErr, ErrUnknownFlow) {
+		t.Fatalf("err = %v", bindErr)
+	}
+}

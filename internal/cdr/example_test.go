@@ -1,0 +1,26 @@
+package cdr_test
+
+import (
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// Encoding and decoding a CDR stream with the alignment rules the GIOP
+// wire format requires.
+func ExampleEncoder() {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.PutOctet(1)       // offset 0
+	e.PutULong(0xCAFE)  // aligns to offset 4
+	e.PutString("giop") // length-prefixed, NUL-terminated
+	e.PutOctetSeq([]byte{0xAA, 0xBB})
+
+	d := cdr.NewDecoder(e.Bytes(), cdr.BigEndian)
+	o, _ := d.Octet()
+	u, _ := d.ULong()
+	s, _ := d.String()
+	b, _ := d.OctetSeq()
+	fmt.Printf("octet=%d ulong=%#x string=%q seq=%x len=%d\n", o, u, s, b, e.Len())
+	// Output:
+	// octet=1 ulong=0xcafe string="giop" seq=aabb len=26
+}

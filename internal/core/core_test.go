@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/avstreams"
+	"repro/internal/netsim"
+	"repro/internal/orb"
+	"repro/internal/quo"
+	"repro/internal/rtos"
+	"repro/internal/video"
+)
+
+func videoSystem(profile LinkProfile, bps float64) (*System, *Machine, *Machine) {
+	sys := NewSystem(1)
+	snd := sys.AddMachine("sender", rtos.HostConfig{Quantum: time.Millisecond})
+	rcv := sys.AddMachine("receiver", rtos.HostConfig{Quantum: time.Millisecond})
+	sys.Link("sender", "receiver", LinkSpec{Bps: bps, Delay: time.Millisecond, Profile: profile})
+	return sys, snd, rcv
+}
+
+func TestSystemBuilder(t *testing.T) {
+	sys := NewSystem(1)
+	a := sys.AddMachine("a", rtos.HostConfig{})
+	r := sys.AddRouter("r")
+	b := sys.AddMachine("b", rtos.HostConfig{})
+	sys.Link("a", "r", LinkSpec{Bps: 10e6})
+	sys.Link("r", "b", LinkSpec{Bps: 10e6})
+	if sys.Machine("a") != a || sys.Router("r") != r || sys.Machine("b") != b {
+		t.Fatal("lookup failures")
+	}
+	route := sys.Net.Route(a.Node.ID(), b.Node.ID())
+	if len(route) != 2 {
+		t.Fatalf("route length = %d", len(route))
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	sys := NewSystem(1)
+	sys.AddMachine("x", rtos.HostConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name accepted")
+		}
+	}()
+	sys.AddRouter("x")
+}
+
+func TestLinkProfiles(t *testing.T) {
+	for _, p := range []LinkProfile{ProfileBestEffort, ProfileDiffServ, ProfileFullQoS} {
+		q := LinkSpec{Profile: p}.qdisc()
+		_, capable := q.(netsim.ReservationCapable)
+		if capable != (p == ProfileFullQoS) {
+			t.Errorf("profile %v reservation-capable = %v", p, capable)
+		}
+	}
+}
+
+func TestApplyThreadPriorityAndDSCP(t *testing.T) {
+	sys := NewSystem(1)
+	m := sys.AddMachine("m", rtos.HostConfig{Priorities: rtos.RangeQNX})
+	qm := NewQoSManager(sys)
+	act := &Activity{Name: "video", Priority: 32767}
+	th := m.Host.Spawn("worker", 0, func(t *rtos.Thread) {})
+	if err := qm.ApplyThreadPriority(act, th, m); err != nil {
+		t.Fatal(err)
+	}
+	if th.Priority() != rtos.RangeQNX.Max {
+		t.Fatalf("native priority = %d, want %d", th.Priority(), rtos.RangeQNX.Max)
+	}
+	if qm.DSCPFor(act) != netsim.DSCPEF {
+		t.Fatalf("DSCP = %v, want EF", qm.DSCPFor(act))
+	}
+	low := &Activity{Name: "bulk", Priority: 100}
+	if qm.DSCPFor(low) != netsim.DSCPBestEffort {
+		t.Fatalf("low-priority DSCP = %v", qm.DSCPFor(low))
+	}
+	sys.K.Run()
+}
+
+func TestEstablishCPUReservesRollback(t *testing.T) {
+	sys := NewSystem(1)
+	a := sys.AddMachine("a", rtos.HostConfig{})
+	b := sys.AddMachine("b", rtos.HostConfig{})
+	qm := NewQoSManager(sys)
+	act := &Activity{Name: "x", Priority: 1000}
+	// Second spec over-commits b: the first reserve must be rolled back.
+	err := qm.EstablishCPUReserves(act,
+		CPUSpec{Machine: a, Compute: 10 * time.Millisecond, Period: 100 * time.Millisecond},
+		CPUSpec{Machine: b, Compute: 95 * time.Millisecond, Period: 100 * time.Millisecond},
+	)
+	if err == nil {
+		t.Fatal("over-commit accepted")
+	}
+	if u := a.Host.ResourceKernel().Utilization(); u != 0 {
+		t.Fatalf("machine a utilization after rollback = %v", u)
+	}
+	if len(act.CPUReserves()) != 0 {
+		t.Fatalf("activity holds %d reserves after failure", len(act.CPUReserves()))
+	}
+}
+
+func TestEstablishAndReleaseEndToEnd(t *testing.T) {
+	sys, snd, rcv := videoSystem(ProfileFullQoS, 10e6)
+	qm := NewQoSManager(sys)
+	act := &Activity{Name: "uav", Priority: 20000}
+	flow := sys.Net.NewFlowID()
+	snd.Host.Spawn("setup", 50, func(th *rtos.Thread) {
+		if err := qm.EstablishCPUReserves(act,
+			CPUSpec{Machine: snd, Compute: 20 * time.Millisecond, Period: 100 * time.Millisecond},
+			CPUSpec{Machine: rcv, Compute: 20 * time.Millisecond, Period: 100 * time.Millisecond},
+		); err != nil {
+			t.Errorf("cpu reserves: %v", err)
+			return
+		}
+		if err := qm.EstablishBandwidth(th.Proc(), act, flow, snd, rcv, 1.5e6, 16*1024); err != nil {
+			t.Errorf("bandwidth: %v", err)
+			return
+		}
+		act.Release()
+	})
+	sys.RunUntil(2 * time.Second)
+	if u := snd.Host.ResourceKernel().Utilization(); u != 0 {
+		t.Fatalf("sender utilization after release = %v", u)
+	}
+	for _, l := range sys.Net.Links() {
+		if rc, ok := l.Queue().(netsim.ReservationCapable); ok && rc.ReservedRate() != 0 {
+			t.Fatalf("link %v still reserved after release", l)
+		}
+	}
+}
+
+func TestPriorityDrivenReservations(t *testing.T) {
+	// Three activities compete for a 10 Mbps bottleneck (9 Mbps
+	// reservable). High gets its full 6 Mbps; mid degrades to within
+	// what is left; low is denied (no floor).
+	sys, snd, rcv := videoSystem(ProfileFullQoS, 10e6)
+	qm := NewQoSManager(sys)
+	high := &Activity{Name: "high", Priority: 30000}
+	mid := &Activity{Name: "mid", Priority: 20000}
+	low := &Activity{Name: "low", Priority: 1000}
+	var results []AllocationResult
+	snd.Host.Spawn("alloc", 50, func(th *rtos.Thread) {
+		results = qm.PriorityDrivenReservations(th.Proc(), []ReservationRequest{
+			{Activity: low, Flow: sys.Net.NewFlowID(), Src: snd, Dst: rcv, RateBps: 4e6},
+			{Activity: high, Flow: sys.Net.NewFlowID(), Src: snd, Dst: rcv, RateBps: 6e6},
+			{Activity: mid, Flow: sys.Net.NewFlowID(), Src: snd, Dst: rcv, RateBps: 6e6, MinRateBps: 1e6},
+		})
+	})
+	sys.RunUntil(5 * time.Second)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Results come back in priority order: high, mid, low.
+	if results[0].Request.Activity != high || results[0].GrantedBps != 6e6 {
+		t.Fatalf("high allocation = %+v", results[0])
+	}
+	if results[1].Request.Activity != mid || results[1].GrantedBps <= 0 || results[1].GrantedBps > 3e6 {
+		t.Fatalf("mid allocation = %+v", results[1])
+	}
+	if results[2].Request.Activity != low || !errors.Is(results[2].Err, ErrDenied) {
+		t.Fatalf("low allocation = %+v", results[2])
+	}
+}
+
+func TestVideoAdaptationEscalatesAndRecovers(t *testing.T) {
+	sys, snd, rcv := videoSystem(ProfileFullQoS, 10e6)
+	recv := rcv.AV().CreateReceiver(5000, 50, nil)
+	sender := snd.AV().CreateSender(5001)
+
+	var va *VideoAdaptation
+	snd.Host.Spawn("source", 50, func(th *rtos.Thread) {
+		st, err := sender.Bind(th.Proc(), recv.Addr(), avstreams.QoS{})
+		if err != nil {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		va = sys.NewVideoAdaptation(st, recv, VideoAdaptationConfig{})
+		st.RunSource(th, video.NewGenerator(video.StreamConfig{}), 90*time.Second)
+	})
+
+	// Heavy cross traffic between t=10s and t=40s.
+	var cross *netsim.CrossTraffic
+	sys.K.After(10*time.Second, func() {
+		cross = netsim.StartCrossTraffic(sys.Net, snd.Node, rcv.Node, 6000, 40e6, 40, netsim.DSCPBestEffort)
+	})
+	sys.K.After(40*time.Second, func() { cross.Stop() })
+
+	sys.RunUntil(9 * time.Second)
+	if va == nil || va.Level() != video.FilterNone {
+		t.Fatalf("filtering before load: %v", va.Level())
+	}
+	sys.RunUntil(35 * time.Second)
+	if va.Level() == video.FilterNone {
+		t.Fatal("adaptation did not escalate under load")
+	}
+	sys.RunUntil(80 * time.Second)
+	if va.Level() != video.FilterNone {
+		t.Fatalf("adaptation did not recover after load: %v", va.Level())
+	}
+	if va.Transitions < 2 {
+		t.Fatalf("transitions = %d", va.Transitions)
+	}
+}
+
+func TestRemoteCondPollsThroughORB(t *testing.T) {
+	sys := NewSystem(1)
+	cli := sys.AddMachine("cli", rtos.HostConfig{})
+	srv := sys.AddMachine("srv", rtos.HostConfig{})
+	sys.Link("cli", "srv", LinkSpec{Bps: 10e6, Delay: time.Millisecond})
+
+	// The server exposes a value that ramps over time.
+	value := 0.0
+	srvORB := srv.ORB(orb.Config{})
+	poa, err := srvORB.CreatePOA("metrics", orb.POAConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := poa.Activate("cpu", DoubleServant(func() float64 { return value }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.K.At(time.Second, func() { value = 0.75 })
+
+	cliORB := cli.ORB(orb.Config{})
+	rc := sys.NewRemoteCond("remote-cpu", cliORB, cli, ref, "read", 100*time.Millisecond, 20000)
+
+	// A contract reacting to the remote condition.
+	contract := quo.NewContract("watch", 100*time.Millisecond).
+		AddCondition(rc).
+		AddRegion(quo.Region{Name: "hot", When: func(v quo.Values) bool { return v["remote-cpu"] > 0.5 }}).
+		AddRegion(quo.Region{Name: "cool"})
+	contract.Start(sys.K)
+
+	sys.RunUntil(900 * time.Millisecond)
+	if rc.Value() != 0 || contract.Region() != "cool" {
+		t.Fatalf("before ramp: value=%v region=%q", rc.Value(), contract.Region())
+	}
+	sys.RunUntil(2 * time.Second)
+	if rc.Value() != 0.75 {
+		t.Fatalf("after ramp: value=%v", rc.Value())
+	}
+	if contract.Region() != "hot" {
+		t.Fatalf("region = %q", contract.Region())
+	}
+	if rc.Errors != 0 || rc.Polls < 10 {
+		t.Fatalf("polls=%d errors=%d", rc.Polls, rc.Errors)
+	}
+	rc.Stop()
+	contract.Stop()
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+	"repro/internal/quo"
+	"repro/internal/rtcorba"
+	"repro/internal/rtos"
+)
+
+// RemoteCond is a QuO system condition fed by periodically polling a
+// remote CORBA object: the "system condition objects ... provide
+// consistent interfaces to infrastructure mechanisms, services and
+// managers" of the paper, measured through the middleware itself (so the
+// measurement traffic is subject to the same QoS machinery it observes).
+type RemoteCond struct {
+	*quo.MeasuredCond
+	stop bool
+
+	// Errors counts failed polls (the condition keeps its last value).
+	Errors int64
+	// Polls counts completed poll attempts.
+	Polls int64
+}
+
+// Stop halts polling after the current round trip.
+func (rc *RemoteCond) Stop() { rc.stop = true }
+
+// NewRemoteCond starts a poller on machine m that invokes op on ref
+// every period through o and feeds the returned CDR double into the
+// condition. The poll runs at the given CORBA priority so measurement
+// traffic competes (or doesn't) exactly as configured.
+func (s *System) NewRemoteCond(name string, o *orb.ORB, m *Machine, ref *orb.ObjectRef, op string, period time.Duration, prio rtcorba.Priority) *RemoteCond {
+	rc := &RemoteCond{MeasuredCond: quo.NewMeasuredCond(name, 0)}
+	m.Host.Spawn("cond-"+name, 1, func(t *rtos.Thread) {
+		if err := o.Current(t).SetPriority(prio); err != nil {
+			panic(err)
+		}
+		for !rc.stop {
+			body, err := o.InvokeOpt(t, ref, op, nil, orb.InvokeOptions{
+				Timeout:  period,
+				Priority: -1,
+			})
+			rc.Polls++
+			if err != nil {
+				rc.Errors++
+			} else {
+				d := cdr.NewDecoder(body, cdr.LittleEndian)
+				if v, err := d.Double(); err == nil {
+					rc.Set(v)
+				} else {
+					rc.Errors++
+				}
+			}
+			t.Sleep(period)
+		}
+	})
+	return rc
+}
+
+// DoubleServant adapts a float-returning function to a CORBA servant —
+// the provider half of a remote system condition (e.g. exposing a
+// host's CPU utilisation or a link's backlog).
+func DoubleServant(fn func() float64) orb.Servant {
+	return orb.ServantFunc(func(req *orb.ServerRequest) ([]byte, error) {
+		e := cdr.NewEncoder(cdr.LittleEndian)
+		e.PutDouble(fn())
+		return e.Bytes(), nil
+	})
+}

@@ -1,0 +1,54 @@
+// Package experiments reproduces the paper's evaluation (Section 5): one
+// scenario builder per figure and table, each returning structured
+// results plus renderers that print the same rows/series the paper
+// reports.
+//
+// Experiment index:
+//
+//	Figure 2  — end-to-end priority propagation across heterogeneous
+//	            hosts (QNX/LynxOS/Solaris) with DiffServ marking.
+//	Figure 4  — control runs: equal priorities, no network management,
+//	            with and without cross traffic.
+//	Figure 5  — thread priorities alone, with CPU load, with and
+//	            without network congestion.
+//	Figure 6  — thread priorities + DiffServ DSCPs under both loads.
+//	Figure 7  — frame delivery over time under a load pulse for
+//	            {no adaptation, partial reservation + filtering,
+//	            full reservation}.
+//	Table 1   — all six {reservation} x {filtering} combinations:
+//	            % frames delivered, mean latency, std dev under load.
+//	Table 2   — edge-detection times under {no load, CPU load,
+//	            CPU load + CPU reservation}.
+//
+// All experiments run on the discrete-event substrate, so they are
+// deterministic for a given seed and complete in seconds of wall time.
+package experiments
+
+import (
+	"time"
+)
+
+// Options are shared experiment knobs.
+type Options struct {
+	// Seed drives all randomness. Defaults to 42.
+	Seed int64
+	// Duration is the measured portion of each run. Figures 4-6 default
+	// to 30s; Figure 7/Table 1 default to 300s (the paper's length)
+	// with the load pulse in the second fifth; Table 2 defaults to 40
+	// images per case.
+	Duration time.Duration
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+func (o Options) duration(def time.Duration) time.Duration {
+	if o.Duration == 0 {
+		return def
+	}
+	return o.Duration
+}

@@ -1,0 +1,550 @@
+// Package giop implements the General Inter-ORB Protocol (version 1.2)
+// message formats used between the ORBs in this repository: Request,
+// Reply, CancelRequest, CloseConnection and MessageError, with service
+// contexts (including the RT-CORBA priority context that propagates a
+// CORBA priority end to end, as in the paper's Figure 2). Messages are
+// real bytes produced and parsed with the cdr package.
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// Protocol constants.
+var magic = [4]byte{'G', 'I', 'O', 'P'}
+
+const (
+	// VersionMajor and VersionMinor identify GIOP 1.2.
+	VersionMajor = 1
+	VersionMinor = 2
+	// HeaderSize is the fixed GIOP message header length.
+	HeaderSize = 12
+)
+
+// MsgType is the GIOP message type octet.
+type MsgType byte
+
+// GIOP message types.
+const (
+	MsgRequest         MsgType = 0
+	MsgReply           MsgType = 1
+	MsgCancelRequest   MsgType = 2
+	MsgLocateRequest   MsgType = 3
+	MsgLocateReply     MsgType = 4
+	MsgCloseConnection MsgType = 5
+	MsgMessageError    MsgType = 6
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "Request"
+	case MsgReply:
+		return "Reply"
+	case MsgCancelRequest:
+		return "CancelRequest"
+	case MsgLocateRequest:
+		return "LocateRequest"
+	case MsgLocateReply:
+		return "LocateReply"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	case MsgMessageError:
+		return "MessageError"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// ReplyStatus is the GIOP reply status.
+type ReplyStatus uint32
+
+// Reply statuses.
+const (
+	StatusNoException     ReplyStatus = 0
+	StatusUserException   ReplyStatus = 1
+	StatusSystemException ReplyStatus = 2
+	StatusLocationForward ReplyStatus = 3
+)
+
+func (s ReplyStatus) String() string {
+	switch s {
+	case StatusNoException:
+		return "NO_EXCEPTION"
+	case StatusUserException:
+		return "USER_EXCEPTION"
+	case StatusSystemException:
+		return "SYSTEM_EXCEPTION"
+	case StatusLocationForward:
+		return "LOCATION_FORWARD"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// Service context identifiers.
+const (
+	// ServiceRTCorbaPriority carries the invocation's CORBA priority
+	// (0..32767) so every hop can map it to native resources — the key
+	// RT-CORBA mechanism for coordinated end-to-end behaviour.
+	ServiceRTCorbaPriority uint32 = 0x0000_0010
+	// ServiceInvocationTimestamp carries the client's send time, letting
+	// the experiments measure true end-to-end latency.
+	ServiceInvocationTimestamp uint32 = 0x0000_0011
+)
+
+// ServiceContext is one tagged service-context entry.
+type ServiceContext struct {
+	ID   uint32
+	Data []byte
+}
+
+// Decoding errors.
+var (
+	// ErrBadMagic means the buffer does not start with "GIOP".
+	ErrBadMagic = errors.New("giop: bad magic")
+	// ErrBadVersion means an unsupported protocol version.
+	ErrBadVersion = errors.New("giop: unsupported version")
+	// ErrBadMessage means a structurally invalid message.
+	ErrBadMessage = errors.New("giop: malformed message")
+)
+
+// Message is any decoded GIOP message.
+type Message interface {
+	Type() MsgType
+	// Marshal produces the complete wire message in the given order.
+	Marshal(order cdr.ByteOrder) []byte
+}
+
+// Request is a GIOP 1.2 Request message (KeyAddr addressing only, which
+// is all the ORB in this repository uses).
+type Request struct {
+	RequestID        uint32
+	ResponseExpected bool
+	ObjectKey        []byte
+	Operation        string
+	ServiceContexts  []ServiceContext
+	Body             []byte // CDR-encoded arguments, aligned at 8
+}
+
+// Type implements Message.
+func (r *Request) Type() MsgType { return MsgRequest }
+
+// Marshal implements Message.
+func (r *Request) Marshal(order cdr.ByteOrder) []byte {
+	e := newHeader(order, MsgRequest)
+	e.PutULong(r.RequestID)
+	if r.ResponseExpected {
+		e.PutOctet(0x03) // SyncScope: with target
+	} else {
+		e.PutOctet(0x00)
+	}
+	e.PutOctet(0) // reserved[3]
+	e.PutOctet(0)
+	e.PutOctet(0)
+	e.PutShort(0) // addressing disposition: KeyAddr
+	e.PutOctetSeq(r.ObjectKey)
+	e.PutString(r.Operation)
+	putContexts(e, r.ServiceContexts)
+	putBody(e, r.Body)
+	return finish(e, order)
+}
+
+// Reply is a GIOP 1.2 Reply message.
+type Reply struct {
+	RequestID       uint32
+	Status          ReplyStatus
+	ServiceContexts []ServiceContext
+	Body            []byte
+}
+
+// Type implements Message.
+func (r *Reply) Type() MsgType { return MsgReply }
+
+// Marshal implements Message.
+func (r *Reply) Marshal(order cdr.ByteOrder) []byte {
+	e := newHeader(order, MsgReply)
+	e.PutULong(r.RequestID)
+	e.PutULong(uint32(r.Status))
+	putContexts(e, r.ServiceContexts)
+	putBody(e, r.Body)
+	return finish(e, order)
+}
+
+// LocateStatus is the LocateReply status.
+type LocateStatus uint32
+
+// Locate statuses.
+const (
+	LocateUnknownObject LocateStatus = 0
+	LocateObjectHere    LocateStatus = 1
+	LocateObjectForward LocateStatus = 2
+)
+
+func (s LocateStatus) String() string {
+	switch s {
+	case LocateUnknownObject:
+		return "UNKNOWN_OBJECT"
+	case LocateObjectHere:
+		return "OBJECT_HERE"
+	case LocateObjectForward:
+		return "OBJECT_FORWARD"
+	default:
+		return fmt.Sprintf("LocateStatus(%d)", uint32(s))
+	}
+}
+
+// LocateRequest asks whether the server can dispatch to an object key
+// without actually invoking it.
+type LocateRequest struct {
+	RequestID uint32
+	ObjectKey []byte
+}
+
+// Type implements Message.
+func (l *LocateRequest) Type() MsgType { return MsgLocateRequest }
+
+// Marshal implements Message.
+func (l *LocateRequest) Marshal(order cdr.ByteOrder) []byte {
+	e := newHeader(order, MsgLocateRequest)
+	e.PutULong(l.RequestID)
+	e.PutShort(0) // KeyAddr
+	e.PutOctetSeq(l.ObjectKey)
+	return finish(e, order)
+}
+
+// LocateReply answers a LocateRequest.
+type LocateReply struct {
+	RequestID uint32
+	Status    LocateStatus
+}
+
+// Type implements Message.
+func (l *LocateReply) Type() MsgType { return MsgLocateReply }
+
+// Marshal implements Message.
+func (l *LocateReply) Marshal(order cdr.ByteOrder) []byte {
+	e := newHeader(order, MsgLocateReply)
+	e.PutULong(l.RequestID)
+	e.PutULong(uint32(l.Status))
+	return finish(e, order)
+}
+
+// CancelRequest asks the server to abandon a pending request.
+type CancelRequest struct {
+	RequestID uint32
+}
+
+// Type implements Message.
+func (c *CancelRequest) Type() MsgType { return MsgCancelRequest }
+
+// Marshal implements Message.
+func (c *CancelRequest) Marshal(order cdr.ByteOrder) []byte {
+	e := newHeader(order, MsgCancelRequest)
+	e.PutULong(c.RequestID)
+	return finish(e, order)
+}
+
+// CloseConnection is the orderly shutdown message.
+type CloseConnection struct{}
+
+// Type implements Message.
+func (*CloseConnection) Type() MsgType { return MsgCloseConnection }
+
+// Marshal implements Message.
+func (*CloseConnection) Marshal(order cdr.ByteOrder) []byte {
+	return finish(newHeader(order, MsgCloseConnection), order)
+}
+
+// MessageError reports a protocol error to the peer.
+type MessageError struct{}
+
+// Type implements Message.
+func (*MessageError) Type() MsgType { return MsgMessageError }
+
+// Marshal implements Message.
+func (*MessageError) Marshal(order cdr.ByteOrder) []byte {
+	return finish(newHeader(order, MsgMessageError), order)
+}
+
+// newHeader starts an encoder with a GIOP header whose size field is
+// patched by finish.
+func newHeader(order cdr.ByteOrder, t MsgType) *cdr.Encoder {
+	e := cdr.NewEncoder(order)
+	e.PutOctet(magic[0])
+	e.PutOctet(magic[1])
+	e.PutOctet(magic[2])
+	e.PutOctet(magic[3])
+	e.PutOctet(VersionMajor)
+	e.PutOctet(VersionMinor)
+	if order == cdr.LittleEndian {
+		e.PutOctet(1)
+	} else {
+		e.PutOctet(0)
+	}
+	e.PutOctet(byte(t))
+	e.PutULong(0) // size placeholder
+	return e
+}
+
+func putContexts(e *cdr.Encoder, ctxs []ServiceContext) {
+	e.PutULong(uint32(len(ctxs)))
+	for _, c := range ctxs {
+		e.PutULong(c.ID)
+		e.PutOctetSeq(c.Data)
+	}
+}
+
+// putBody aligns to the GIOP 1.2 8-byte body boundary and appends raw
+// CDR argument bytes.
+func putBody(e *cdr.Encoder, body []byte) {
+	if len(body) == 0 {
+		return
+	}
+	for e.Len()%8 != 0 {
+		e.PutOctet(0)
+	}
+	for _, b := range body {
+		e.PutOctet(b)
+	}
+}
+
+// finish patches the message-size field (bytes following the header).
+func finish(e *cdr.Encoder, order cdr.ByteOrder) []byte {
+	buf := e.Bytes()
+	size := uint32(len(buf) - HeaderSize)
+	order.Order().PutUint32(buf[8:12], size)
+	return buf
+}
+
+// Decode parses one complete GIOP message.
+func Decode(buf []byte) (Message, error) {
+	if len(buf) < HeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadMessage, len(buf))
+	}
+	if !bytes.Equal(buf[0:4], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if buf[4] != VersionMajor || buf[5] != VersionMinor {
+		return nil, fmt.Errorf("%w: %d.%d", ErrBadVersion, buf[4], buf[5])
+	}
+	order := cdr.BigEndian
+	if buf[6]&1 == 1 {
+		order = cdr.LittleEndian
+	}
+	t := MsgType(buf[7])
+	size := order.Order().Uint32(buf[8:12])
+	if int(size) != len(buf)-HeaderSize {
+		return nil, fmt.Errorf("%w: size field %d, actual %d", ErrBadMessage, size, len(buf)-HeaderSize)
+	}
+	// Decode with header bytes in place so alignment matches encoding.
+	d := cdr.NewDecoder(buf, order)
+	for i := 0; i < HeaderSize; i++ {
+		if _, err := d.Octet(); err != nil {
+			return nil, err
+		}
+	}
+	switch t {
+	case MsgRequest:
+		return decodeRequest(d, buf)
+	case MsgReply:
+		return decodeReply(d, buf)
+	case MsgCancelRequest:
+		id, err := d.ULong()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		return &CancelRequest{RequestID: id}, nil
+	case MsgLocateRequest:
+		lr := &LocateRequest{}
+		var err error
+		if lr.RequestID, err = d.ULong(); err != nil {
+			return nil, fmt.Errorf("%w: locate id: %v", ErrBadMessage, err)
+		}
+		disp, err := d.Short()
+		if err != nil || disp != 0 {
+			return nil, fmt.Errorf("%w: locate disposition %d (%v)", ErrBadMessage, disp, err)
+		}
+		if lr.ObjectKey, err = d.OctetSeq(); err != nil {
+			return nil, fmt.Errorf("%w: locate key: %v", ErrBadMessage, err)
+		}
+		return lr, nil
+	case MsgLocateReply:
+		lr := &LocateReply{}
+		var err error
+		if lr.RequestID, err = d.ULong(); err != nil {
+			return nil, fmt.Errorf("%w: locate reply id: %v", ErrBadMessage, err)
+		}
+		status, err := d.ULong()
+		if err != nil || status > uint32(LocateObjectForward) {
+			return nil, fmt.Errorf("%w: locate status %d (%v)", ErrBadMessage, status, err)
+		}
+		lr.Status = LocateStatus(status)
+		return lr, nil
+	case MsgCloseConnection:
+		return &CloseConnection{}, nil
+	case MsgMessageError:
+		return &MessageError{}, nil
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrBadMessage, buf[7])
+	}
+}
+
+func decodeRequest(d *cdr.Decoder, buf []byte) (*Request, error) {
+	r := &Request{}
+	var err error
+	if r.RequestID, err = d.ULong(); err != nil {
+		return nil, fmt.Errorf("%w: request id: %v", ErrBadMessage, err)
+	}
+	flags, err := d.Octet()
+	if err != nil {
+		return nil, fmt.Errorf("%w: response flags: %v", ErrBadMessage, err)
+	}
+	r.ResponseExpected = flags != 0
+	for i := 0; i < 3; i++ {
+		if _, err := d.Octet(); err != nil {
+			return nil, fmt.Errorf("%w: reserved: %v", ErrBadMessage, err)
+		}
+	}
+	disp, err := d.Short()
+	if err != nil || disp != 0 {
+		return nil, fmt.Errorf("%w: addressing disposition %d (%v)", ErrBadMessage, disp, err)
+	}
+	if r.ObjectKey, err = d.OctetSeq(); err != nil {
+		return nil, fmt.Errorf("%w: object key: %v", ErrBadMessage, err)
+	}
+	if r.Operation, err = d.String(); err != nil {
+		return nil, fmt.Errorf("%w: operation: %v", ErrBadMessage, err)
+	}
+	if r.ServiceContexts, err = getContexts(d); err != nil {
+		return nil, err
+	}
+	r.Body = extractBody(d, buf)
+	return r, nil
+}
+
+func decodeReply(d *cdr.Decoder, buf []byte) (*Reply, error) {
+	r := &Reply{}
+	var err error
+	if r.RequestID, err = d.ULong(); err != nil {
+		return nil, fmt.Errorf("%w: request id: %v", ErrBadMessage, err)
+	}
+	status, err := d.ULong()
+	if err != nil {
+		return nil, fmt.Errorf("%w: status: %v", ErrBadMessage, err)
+	}
+	if status > uint32(StatusLocationForward) {
+		return nil, fmt.Errorf("%w: reply status %d", ErrBadMessage, status)
+	}
+	r.Status = ReplyStatus(status)
+	if r.ServiceContexts, err = getContexts(d); err != nil {
+		return nil, err
+	}
+	r.Body = extractBody(d, buf)
+	return r, nil
+}
+
+func getContexts(d *cdr.Decoder) ([]ServiceContext, error) {
+	n, err := d.ULong()
+	if err != nil {
+		return nil, fmt.Errorf("%w: context count: %v", ErrBadMessage, err)
+	}
+	if n > 1024 {
+		return nil, fmt.Errorf("%w: %d service contexts", ErrBadMessage, n)
+	}
+	out := make([]ServiceContext, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var c ServiceContext
+		if c.ID, err = d.ULong(); err != nil {
+			return nil, fmt.Errorf("%w: context id: %v", ErrBadMessage, err)
+		}
+		if c.Data, err = d.OctetSeq(); err != nil {
+			return nil, fmt.Errorf("%w: context data: %v", ErrBadMessage, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// extractBody returns the 8-aligned remainder of the message.
+func extractBody(d *cdr.Decoder, buf []byte) []byte {
+	pos := d.Pos()
+	for pos%8 != 0 {
+		pos++
+	}
+	if pos >= len(buf) {
+		return nil
+	}
+	body := make([]byte, len(buf)-pos)
+	copy(body, buf[pos:])
+	return body
+}
+
+// FindContext returns the first service context with the given id.
+func FindContext(ctxs []ServiceContext, id uint32) ([]byte, bool) {
+	for _, c := range ctxs {
+		if c.ID == id {
+			return c.Data, true
+		}
+	}
+	return nil, false
+}
+
+// PriorityContext builds the RTCorbaPriority service context for a CORBA
+// priority value.
+func PriorityContext(priority int16, order cdr.ByteOrder) ServiceContext {
+	e := cdr.NewEncoder(order)
+	e.PutOctet(byte(order))
+	e.PutShort(priority)
+	return ServiceContext{ID: ServiceRTCorbaPriority, Data: e.Bytes()}
+}
+
+// ParsePriorityContext extracts the CORBA priority from context data.
+func ParsePriorityContext(data []byte) (int16, error) {
+	if len(data) < 1 {
+		return 0, fmt.Errorf("%w: empty priority context", ErrBadMessage)
+	}
+	order := cdr.ByteOrder(data[0])
+	d := cdr.NewDecoder(data, order)
+	if _, err := d.Octet(); err != nil {
+		return 0, err
+	}
+	v, err := d.Short()
+	if err != nil {
+		return 0, fmt.Errorf("%w: priority context: %v", ErrBadMessage, err)
+	}
+	return v, nil
+}
+
+// TimestampContext builds the invocation-timestamp service context.
+func TimestampContext(nanos int64, order cdr.ByteOrder) ServiceContext {
+	e := cdr.NewEncoder(order)
+	e.PutOctet(byte(order))
+	// Align manually: the octet order prefix is followed by pad to 8.
+	for e.Len()%8 != 0 {
+		e.PutOctet(0)
+	}
+	e.PutLongLong(nanos)
+	return ServiceContext{ID: ServiceInvocationTimestamp, Data: e.Bytes()}
+}
+
+// ParseTimestampContext extracts the send time in nanoseconds.
+func ParseTimestampContext(data []byte) (int64, error) {
+	if len(data) < 1 {
+		return 0, fmt.Errorf("%w: empty timestamp context", ErrBadMessage)
+	}
+	order := cdr.ByteOrder(data[0])
+	d := cdr.NewDecoder(data, order)
+	if _, err := d.Octet(); err != nil {
+		return 0, err
+	}
+	v, err := d.LongLong()
+	if err != nil {
+		return 0, fmt.Errorf("%w: timestamp context: %v", ErrBadMessage, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,257 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdr"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		body := cdr.NewEncoder(order)
+		body.PutString("arg1")
+		body.PutULong(42)
+		req := &Request{
+			RequestID:        7,
+			ResponseExpected: true,
+			ObjectKey:        []byte("POA/videoserver"),
+			Operation:        "send_frame",
+			ServiceContexts: []ServiceContext{
+				PriorityContext(100, order),
+				TimestampContext(123456789, order),
+			},
+			Body: body.Bytes(),
+		}
+		wire := req.Marshal(order)
+		msg, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", order, err)
+		}
+		got, ok := msg.(*Request)
+		if !ok {
+			t.Fatalf("%v: decoded %T", order, msg)
+		}
+		if got.RequestID != 7 || !got.ResponseExpected ||
+			!bytes.Equal(got.ObjectKey, req.ObjectKey) || got.Operation != "send_frame" {
+			t.Fatalf("%v: got %+v", order, got)
+		}
+		if len(got.ServiceContexts) != 2 {
+			t.Fatalf("%v: %d service contexts", order, len(got.ServiceContexts))
+		}
+		pdata, ok := FindContext(got.ServiceContexts, ServiceRTCorbaPriority)
+		if !ok {
+			t.Fatalf("%v: priority context missing", order)
+		}
+		prio, err := ParsePriorityContext(pdata)
+		if err != nil || prio != 100 {
+			t.Fatalf("%v: priority = %d, %v", order, prio, err)
+		}
+		tdata, _ := FindContext(got.ServiceContexts, ServiceInvocationTimestamp)
+		ts, err := ParseTimestampContext(tdata)
+		if err != nil || ts != 123456789 {
+			t.Fatalf("%v: timestamp = %d, %v", order, ts, err)
+		}
+		// The body must decode with the same values.
+		d := cdr.NewDecoder(got.Body, order)
+		if s, err := d.String(); err != nil || s != "arg1" {
+			t.Fatalf("%v: body string = %q, %v", order, s, err)
+		}
+		if v, err := d.ULong(); err != nil || v != 42 {
+			t.Fatalf("%v: body ulong = %d, %v", order, v, err)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	body := cdr.NewEncoder(cdr.LittleEndian)
+	body.PutDouble(2.5)
+	rep := &Reply{
+		RequestID: 9,
+		Status:    StatusNoException,
+		Body:      body.Bytes(),
+	}
+	wire := rep.Marshal(cdr.LittleEndian)
+	msg, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*Reply)
+	if got.RequestID != 9 || got.Status != StatusNoException {
+		t.Fatalf("got %+v", got)
+	}
+	d := cdr.NewDecoder(got.Body, cdr.LittleEndian)
+	if v, err := d.Double(); err != nil || v != 2.5 {
+		t.Fatalf("body double = %v, %v", v, err)
+	}
+}
+
+func TestSimpleMessages(t *testing.T) {
+	for _, m := range []Message{
+		&CancelRequest{RequestID: 3},
+		&CloseConnection{},
+		&MessageError{},
+	} {
+		wire := m.Marshal(cdr.BigEndian)
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type(), err)
+		}
+		if got.Type() != m.Type() {
+			t.Fatalf("type = %v, want %v", got.Type(), m.Type())
+		}
+	}
+	msg, _ := Decode((&CancelRequest{RequestID: 3}).Marshal(cdr.BigEndian))
+	if msg.(*CancelRequest).RequestID != 3 {
+		t.Fatal("cancel request id lost")
+	}
+}
+
+func TestHeaderWireFormat(t *testing.T) {
+	wire := (&CloseConnection{}).Marshal(cdr.BigEndian)
+	if len(wire) != HeaderSize {
+		t.Fatalf("close connection length = %d", len(wire))
+	}
+	if !bytes.Equal(wire[0:4], []byte("GIOP")) {
+		t.Fatalf("magic = %q", wire[0:4])
+	}
+	if wire[4] != 1 || wire[5] != 2 {
+		t.Fatalf("version = %d.%d", wire[4], wire[5])
+	}
+	if wire[7] != byte(MsgCloseConnection) {
+		t.Fatalf("type = %d", wire[7])
+	}
+}
+
+func TestBodyAlignment(t *testing.T) {
+	req := &Request{
+		RequestID: 1,
+		ObjectKey: []byte("k"),
+		Operation: "op",
+		Body:      []byte{0xDE, 0xAD},
+	}
+	wire := req.Marshal(cdr.BigEndian)
+	// Find the body: it must start at an 8-byte boundary.
+	idx := bytes.LastIndex(wire, []byte{0xDE, 0xAD})
+	if idx%8 != 0 {
+		t.Fatalf("body starts at offset %d, want 8-aligned", idx)
+	}
+	msg, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg.(*Request).Body, []byte{0xDE, 0xAD}) {
+		t.Fatalf("body = %v", msg.(*Request).Body)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("GIO"),
+		"bad magic":   append([]byte("JUNK"), make([]byte, 8)...),
+		"bad version": {'G', 'I', 'O', 'P', 9, 9, 0, 0, 0, 0, 0, 0},
+		"bad size":    {'G', 'I', 'O', 'P', 1, 2, 0, 0, 0, 0, 0, 99},
+		"bad type":    {'G', 'I', 'O', 'P', 1, 2, 0, 42, 0, 0, 0, 0},
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	prop := func(data []byte) bool {
+		// Either outcome is fine; panicking is not.
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// And corrupted real messages must error or decode, not panic.
+	req := &Request{RequestID: 1, ObjectKey: []byte("key"), Operation: "op"}
+	wire := req.Marshal(cdr.BigEndian)
+	for i := range wire {
+		mut := bytes.Clone(wire)
+		mut[i] ^= 0xFF
+		_, _ = Decode(mut)
+	}
+}
+
+func TestRequestPropertyRoundTrip(t *testing.T) {
+	prop := func(id uint32, respond bool, key []byte, op string, prio int16, body []byte, little bool) bool {
+		order := cdr.BigEndian
+		if little {
+			order = cdr.LittleEndian
+		}
+		// Operation strings cannot contain NUL in CORBA.
+		clean := make([]rune, 0, len(op))
+		for _, r := range op {
+			if r != 0 {
+				clean = append(clean, r)
+			}
+		}
+		op = string(clean)
+		req := &Request{
+			RequestID:        id,
+			ResponseExpected: respond,
+			ObjectKey:        key,
+			Operation:        op,
+			ServiceContexts:  []ServiceContext{PriorityContext(prio, order)},
+			Body:             body,
+		}
+		msg, err := Decode(req.Marshal(order))
+		if err != nil {
+			return false
+		}
+		got, ok := msg.(*Request)
+		if !ok {
+			return false
+		}
+		pdata, ok := FindContext(got.ServiceContexts, ServiceRTCorbaPriority)
+		if !ok {
+			return false
+		}
+		gotPrio, err := ParsePriorityContext(pdata)
+		if err != nil {
+			return false
+		}
+		bodyOK := bytes.Equal(got.Body, body) || (len(body) == 0 && len(got.Body) == 0)
+		return got.RequestID == id && got.ResponseExpected == respond &&
+			bytes.Equal(got.ObjectKey, key) && got.Operation == op &&
+			gotPrio == prio && bodyOK
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	req := &LocateRequest{RequestID: 11, ObjectKey: []byte("app/obj")}
+	msg, err := Decode(req.Marshal(cdr.LittleEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*LocateRequest)
+	if got.RequestID != 11 || string(got.ObjectKey) != "app/obj" {
+		t.Fatalf("got %+v", got)
+	}
+	rep := &LocateReply{RequestID: 11, Status: LocateObjectHere}
+	msg, err = Decode(rep.Marshal(cdr.BigEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.(*LocateReply).Status != LocateObjectHere {
+		t.Fatalf("status = %v", msg.(*LocateReply).Status)
+	}
+}
+
+func TestLocateReplyRejectsBadStatus(t *testing.T) {
+	rep := &LocateReply{RequestID: 1, Status: LocateStatus(9)}
+	if _, err := Decode(rep.Marshal(cdr.BigEndian)); err == nil {
+		t.Fatal("bad locate status accepted")
+	}
+}

@@ -1,0 +1,294 @@
+// Package idl provides the two marshalling styles the paper credits to
+// TAO's IDL compiler: compiled stubs (hand-written per-type code, fast
+// but larger) and interpretive marshalling (a single engine walking a
+// type descriptor, compact but slower). Applications choose per type,
+// trading time against space exactly as the paper describes.
+//
+// A type is described by a Type tree built with the constructor
+// functions (Octet, Long, String, Sequence, StructOf, ...). The
+// interpretive engine marshals Go values against a descriptor:
+//
+//	octet       -> byte          ulonglong -> uint64
+//	boolean     -> bool          float     -> float32
+//	short       -> int16         double    -> float64
+//	ushort      -> uint16        string    -> string
+//	long        -> int32         sequence  -> []any
+//	ulong       -> uint32        struct    -> []any (fields in order)
+//	longlong    -> int64
+//
+// Compiled types implement the Compiled interface instead.
+package idl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// Kind enumerates descriptor node kinds.
+type Kind int
+
+// Descriptor kinds.
+const (
+	KOctet Kind = iota + 1
+	KBool
+	KShort
+	KUShort
+	KLong
+	KULong
+	KLongLong
+	KULongLong
+	KFloat
+	KDouble
+	KString
+	KSequence
+	KStruct
+)
+
+func (k Kind) String() string {
+	names := map[Kind]string{
+		KOctet: "octet", KBool: "boolean", KShort: "short", KUShort: "ushort",
+		KLong: "long", KULong: "ulong", KLongLong: "longlong",
+		KULongLong: "ulonglong", KFloat: "float", KDouble: "double",
+		KString: "string", KSequence: "sequence", KStruct: "struct",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Type is one node of a type descriptor tree.
+type Type struct {
+	Kind   Kind
+	Name   string  // struct name, for diagnostics
+	Elem   *Type   // sequence element type
+	Fields []Field // struct fields, in declaration order
+}
+
+// Field is a named struct member.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Constructor helpers.
+func Octet() *Type     { return &Type{Kind: KOctet} }
+func Bool() *Type      { return &Type{Kind: KBool} }
+func Short() *Type     { return &Type{Kind: KShort} }
+func UShort() *Type    { return &Type{Kind: KUShort} }
+func Long() *Type      { return &Type{Kind: KLong} }
+func ULong() *Type     { return &Type{Kind: KULong} }
+func LongLong() *Type  { return &Type{Kind: KLongLong} }
+func ULongLong() *Type { return &Type{Kind: KULongLong} }
+func Float() *Type     { return &Type{Kind: KFloat} }
+func Double() *Type    { return &Type{Kind: KDouble} }
+func String() *Type    { return &Type{Kind: KString} }
+
+// Sequence describes sequence<elem>.
+func Sequence(elem *Type) *Type { return &Type{Kind: KSequence, Elem: elem} }
+
+// StructOf describes a struct with the given ordered fields.
+func StructOf(name string, fields ...Field) *Type {
+	return &Type{Kind: KStruct, Name: name, Fields: fields}
+}
+
+// F builds a Field.
+func F(name string, t *Type) Field { return Field{Name: name, Type: t} }
+
+// ErrTypeMismatch reports a value/descriptor disagreement.
+var ErrTypeMismatch = errors.New("idl: value does not match descriptor")
+
+func mismatch(t *Type, v any) error {
+	return fmt.Errorf("%w: %v got %T", ErrTypeMismatch, t.Kind, v)
+}
+
+// Marshal appends v, described by t, to the encoder (interpretive path).
+func Marshal(e *cdr.Encoder, t *Type, v any) error {
+	switch t.Kind {
+	case KOctet:
+		x, ok := v.(byte)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutOctet(x)
+	case KBool:
+		x, ok := v.(bool)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutBool(x)
+	case KShort:
+		x, ok := v.(int16)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutShort(x)
+	case KUShort:
+		x, ok := v.(uint16)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutUShort(x)
+	case KLong:
+		x, ok := v.(int32)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutLong(x)
+	case KULong:
+		x, ok := v.(uint32)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutULong(x)
+	case KLongLong:
+		x, ok := v.(int64)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutLongLong(x)
+	case KULongLong:
+		x, ok := v.(uint64)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutULongLong(x)
+	case KFloat:
+		x, ok := v.(float32)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutFloat(x)
+	case KDouble:
+		x, ok := v.(float64)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutDouble(x)
+	case KString:
+		x, ok := v.(string)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutString(x)
+	case KSequence:
+		xs, ok := v.([]any)
+		if !ok {
+			return mismatch(t, v)
+		}
+		e.PutULong(uint32(len(xs)))
+		for i, x := range xs {
+			if err := Marshal(e, t.Elem, x); err != nil {
+				return fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+	case KStruct:
+		xs, ok := v.([]any)
+		if !ok {
+			return mismatch(t, v)
+		}
+		if len(xs) != len(t.Fields) {
+			return fmt.Errorf("%w: struct %s has %d fields, value has %d",
+				ErrTypeMismatch, t.Name, len(t.Fields), len(xs))
+		}
+		for i, f := range t.Fields {
+			if err := Marshal(e, f.Type, xs[i]); err != nil {
+				return fmt.Errorf("%s.%s: %w", t.Name, f.Name, err)
+			}
+		}
+	default:
+		return fmt.Errorf("idl: unknown kind %v", t.Kind)
+	}
+	return nil
+}
+
+// Unmarshal decodes one value described by t (interpretive path).
+func Unmarshal(d *cdr.Decoder, t *Type) (any, error) {
+	switch t.Kind {
+	case KOctet:
+		return d.Octet()
+	case KBool:
+		return d.Bool()
+	case KShort:
+		return d.Short()
+	case KUShort:
+		return d.UShort()
+	case KLong:
+		return d.Long()
+	case KULong:
+		return d.ULong()
+	case KLongLong:
+		return d.LongLong()
+	case KULongLong:
+		return d.ULongLong()
+	case KFloat:
+		return d.Float()
+	case KDouble:
+		return d.Double()
+	case KString:
+		return d.String()
+	case KSequence:
+		n, err := d.ULong()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > d.Remaining() {
+			// Each element needs at least one byte; reject absurd counts
+			// before allocating.
+			return nil, fmt.Errorf("%w: sequence count %d exceeds buffer", cdr.ErrInvalid, n)
+		}
+		out := make([]any, 0, n)
+		for i := uint32(0); i < n; i++ {
+			x, err := Unmarshal(d, t.Elem)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+			out = append(out, x)
+		}
+		return out, nil
+	case KStruct:
+		out := make([]any, 0, len(t.Fields))
+		for _, f := range t.Fields {
+			x, err := Unmarshal(d, f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("%s.%s: %w", t.Name, f.Name, err)
+			}
+			out = append(out, x)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("idl: unknown kind %v", t.Kind)
+	}
+}
+
+// Compiled is implemented by types with hand-written (compiled-stub
+// style) marshalling — the fast path.
+type Compiled interface {
+	MarshalCDR(e *cdr.Encoder)
+	UnmarshalCDR(d *cdr.Decoder) error
+}
+
+// Encode is a convenience wrapper producing bytes from a descriptor and
+// value in one call.
+func Encode(order cdr.ByteOrder, t *Type, v any) ([]byte, error) {
+	e := cdr.NewEncoder(order)
+	if err := Marshal(e, t, v); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+// Decode is the inverse of Encode.
+func Decode(order cdr.ByteOrder, t *Type, buf []byte) (any, error) {
+	d := cdr.NewDecoder(buf, order)
+	v, err := Unmarshal(d, t)
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", cdr.ErrInvalid, d.Remaining())
+	}
+	return v, nil
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIPlot renders a series as a text scatter plot — enough to eyeball
+// the shape of a latency time series or a delivery curve in a terminal,
+// the way the paper's figures are read.
+func ASCIIPlot(s *Series, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	if s.Len() == 0 {
+		return fmt.Sprintf("%s: (no data)\n", s.Name)
+	}
+	minT, maxT := s.Points[0].T, s.Points[0].T
+	minV, maxV := s.Points[0].V, s.Points[0].V
+	for _, p := range s.Points {
+		if p.T < minT {
+			minT = p.T
+		}
+		if p.T > maxT {
+			maxT = p.T
+		}
+		if p.V < minV {
+			minV = p.V
+		}
+		if p.V > maxV {
+			maxV = p.V
+		}
+	}
+	tSpan := float64(maxT - minT)
+	vSpan := maxV - minV
+	if tSpan == 0 {
+		tSpan = 1
+	}
+	if vSpan == 0 {
+		vSpan = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range s.Points {
+		x := int(float64(p.T-minT) / tSpan * float64(width-1))
+		y := int((p.V - minV) / vSpan * float64(height-1))
+		if math.IsNaN(p.V) {
+			continue
+		}
+		row := height - 1 - y
+		grid[row][x] = '*'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.4g .. %.4g]\n", s.Name, minV, maxV)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " t: %v .. %v\n", minT, maxT)
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package naming
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/orb"
+	"repro/internal/rtcorba"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+func rig() (*sim.Kernel, *orb.ORB, *orb.ORB, *rtos.Host) {
+	k := sim.NewKernel(1)
+	n := netsim.New(k)
+	cn := n.AddHost("client")
+	sn := n.AddHost("nameserver")
+	n.ConnectSym(cn, sn, netsim.LinkConfig{Bps: 10e6, Delay: time.Millisecond})
+	ch := rtos.NewHost(k, "client", rtos.HostConfig{})
+	sh := rtos.NewHost(k, "nameserver", rtos.HostConfig{})
+	cli := orb.New("cli", ch, n, cn, orb.Config{})
+	srv := orb.New("srv", sh, n, sn, orb.Config{})
+	return k, cli, srv, ch
+}
+
+func sampleRef(i int) *orb.ObjectRef {
+	return &orb.ObjectRef{
+		Addr:           netsim.Addr{Node: netsim.NodeID(i), Port: 2809},
+		Key:            []byte("app/obj"),
+		Model:          rtcorba.ClientPropagated,
+		ServerPriority: 100,
+	}
+}
+
+func TestLocalBindResolveUnbind(t *testing.T) {
+	s := NewService()
+	ref := sampleRef(1)
+	if err := s.Bind("video/sender", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Resolve("video/sender")
+	if err != nil || got != ref {
+		t.Fatalf("resolve = %v, %v", got, err)
+	}
+	if err := s.Bind("video/sender", ref); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("duplicate bind err = %v", err)
+	}
+	s.Rebind("video/sender", sampleRef(2))
+	got, _ = s.Resolve("video/sender")
+	if got.Addr.Node != 2 {
+		t.Fatalf("rebind did not replace: %v", got)
+	}
+	if err := s.Unbind("video/sender"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve("video/sender"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resolve after unbind err = %v", err)
+	}
+	if err := s.Unbind("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unbind ghost err = %v", err)
+	}
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	k, cli, srv, ch := rig()
+	_, rootRef, err := Activate(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := NewClient(cli, rootRef)
+	target := sampleRef(5)
+	var resolved *orb.ObjectRef
+	var names []string
+	ch.Spawn("caller", 50, func(th *rtos.Thread) {
+		if err := nc.Bind(th, "services/atr", target); err != nil {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		if err := nc.Bind(th, "services/video", sampleRef(6)); err != nil {
+			t.Errorf("bind 2: %v", err)
+			return
+		}
+		var err error
+		resolved, err = nc.Resolve(th, "services/atr")
+		if err != nil {
+			t.Errorf("resolve: %v", err)
+			return
+		}
+		names, err = nc.List(th)
+		if err != nil {
+			t.Errorf("list: %v", err)
+		}
+	})
+	k.RunUntil(time.Second)
+	if resolved == nil || resolved.Addr != target.Addr || string(resolved.Key) != string(target.Key) ||
+		resolved.ServerPriority != target.ServerPriority {
+		t.Fatalf("resolved = %+v, want %+v", resolved, target)
+	}
+	if len(names) != 2 || names[0] != "services/atr" || names[1] != "services/video" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	k, cli, srv, ch := rig()
+	_, rootRef, err := Activate(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := NewClient(cli, rootRef)
+	var resolveErr, dupErr, unbindErr error
+	ch.Spawn("caller", 50, func(th *rtos.Thread) {
+		_, resolveErr = nc.Resolve(th, "nope")
+		if err := nc.Bind(th, "x", sampleRef(1)); err != nil {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		dupErr = nc.Bind(th, "x", sampleRef(2))
+		unbindErr = nc.Unbind(th, "nope")
+	})
+	k.RunUntil(time.Second)
+	if !errors.Is(resolveErr, ErrNotFound) {
+		t.Fatalf("resolve err = %v", resolveErr)
+	}
+	if !errors.Is(dupErr, ErrAlreadyBound) {
+		t.Fatalf("dup bind err = %v", dupErr)
+	}
+	if !errors.Is(unbindErr, ErrNotFound) {
+		t.Fatalf("unbind err = %v", unbindErr)
+	}
+}
+
+func TestRemoteRebind(t *testing.T) {
+	k, cli, srv, ch := rig()
+	_, rootRef, _ := Activate(srv)
+	nc := NewClient(cli, rootRef)
+	var got *orb.ObjectRef
+	ch.Spawn("caller", 50, func(th *rtos.Thread) {
+		_ = nc.Bind(th, "svc", sampleRef(1))
+		if err := nc.Rebind(th, "svc", sampleRef(9)); err != nil {
+			t.Errorf("rebind: %v", err)
+			return
+		}
+		got, _ = nc.Resolve(th, "svc")
+	})
+	k.RunUntil(time.Second)
+	if got == nil || got.Addr.Node != 9 {
+		t.Fatalf("resolved after rebind = %v", got)
+	}
+}

@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Link is one unidirectional network link: an egress queue, a serialising
+// transmitter of the configured bandwidth, and a propagation delay.
+type Link struct {
+	net   *Network
+	from  *Node
+	to    *Node
+	bps   float64
+	delay time.Duration
+	q     Qdisc
+
+	busy  bool
+	retry *sim.Event
+
+	// Fault injection
+	lossRate float64
+	down     bool
+
+	// Stats
+	txPackets int64
+	txBytes   int64
+	drops     int64
+	lost      int64
+}
+
+// SetLossRate makes the link randomly corrupt (lose) the given fraction
+// of transmitted packets — fault injection for robustness tests.
+func (l *Link) SetLossRate(p float64) {
+	if p < 0 || p > 1 {
+		panic("netsim: loss rate out of [0,1]")
+	}
+	l.lossRate = p
+}
+
+// LossRate returns the injected loss rate.
+func (l *Link) LossRate() float64 { return l.lossRate }
+
+// SetDown takes the link down (transmission stalls; queued and arriving
+// packets wait or overflow the queue) or brings it back up.
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	if !down {
+		l.kick()
+	}
+}
+
+// Down reports whether the link is down.
+func (l *Link) Down() bool { return l.down }
+
+// Lost returns the number of packets destroyed by injected loss.
+func (l *Link) Lost() int64 { return l.lost }
+
+// From returns the transmitting node.
+func (l *Link) From() *Node { return l.from }
+
+// To returns the receiving node.
+func (l *Link) To() *Node { return l.to }
+
+// Bps returns the link bandwidth in bits per second.
+func (l *Link) Bps() float64 { return l.bps }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// Queue returns the egress queueing discipline.
+func (l *Link) Queue() Qdisc { return l.q }
+
+// TxPackets returns the number of packets transmitted.
+func (l *Link) TxPackets() int64 { return l.txPackets }
+
+// TxBytes returns the number of bytes transmitted.
+func (l *Link) TxBytes() int64 { return l.txBytes }
+
+// Drops returns the number of packets the egress queue rejected.
+func (l *Link) Drops() int64 { return l.drops }
+
+// Utilization returns transmitted bits over elapsed time as a fraction
+// of the link bandwidth.
+func (l *Link) Utilization() float64 {
+	now := l.net.k.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(l.txBytes*8) / (l.bps * now.Seconds())
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%s->%s %.1fMbps %v)", l.from.name, l.to.name, l.bps/1e6, l.delay)
+}
+
+// enqueue offers a packet to the egress queue and starts the transmitter
+// if it is idle.
+func (l *Link) enqueue(p *Packet) {
+	if !l.q.Enqueue(p) {
+		l.drops++
+		l.net.countDrop(p, DropQueue)
+		return
+	}
+	l.kick()
+}
+
+// kick attempts to start transmitting the next packet. A qdisc can be
+// non-empty yet ineligible (a shaped reservation waiting for tokens), in
+// which case a retry is scheduled for when credit accrues.
+func (l *Link) kick() {
+	if l.busy || l.down {
+		return
+	}
+	if l.retry != nil {
+		l.retry.Cancel()
+		l.retry = nil
+	}
+	k := l.net.k
+	p, wait := l.q.Dequeue(k.Now())
+	if p == nil {
+		if wait > 0 {
+			l.retry = k.After(wait, func() {
+				l.retry = nil
+				l.kick()
+			})
+		}
+		return
+	}
+	l.busy = true
+	txTime := time.Duration(float64(p.Size*8) / l.bps * float64(time.Second))
+	k.After(txTime, func() {
+		l.busy = false
+		l.txPackets++
+		l.txBytes += int64(p.Size)
+		if l.lossRate > 0 && k.Rand().Float64() < l.lossRate {
+			l.lost++
+			l.net.countDrop(p, DropLoss)
+		} else {
+			k.After(l.delay, func() { l.to.receive(p) })
+		}
+		l.kick()
+	})
+}

@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Property: packets are conserved — after the network drains, every sent
+// packet was either delivered or dropped, for arbitrary multi-flow
+// traffic through an arbitrary qdisc stack.
+func TestPropertyPacketConservation(t *testing.T) {
+	prop := func(rates []uint8, qdiscSel uint8) bool {
+		if len(rates) == 0 {
+			return true
+		}
+		if len(rates) > 8 {
+			rates = rates[:8]
+		}
+		k := sim.NewKernel(23)
+		n := New(k)
+		a := n.AddHost("a")
+		b := n.AddHost("b")
+		mk := func() Qdisc {
+			switch qdiscSel % 3 {
+			case 0:
+				return NewFIFO(16 * 1024)
+			case 1:
+				return NewDRR(1500, 16*1024)
+			default:
+				return NewIntServ(NewDiffServ(16*1024, NewDRR(1500, 16*1024)))
+			}
+		}
+		n.Connect(a, b, LinkConfig{Bps: 2e6, Queue: mk()}, LinkConfig{Bps: 2e6, Queue: mk()})
+		var gens []*TrafficGen
+		for i, r := range rates {
+			port := uint16(100 + i)
+			b.Bind(port, func(*Packet) {})
+			dscp := DSCPBestEffort
+			if r%4 == 0 {
+				dscp = DSCPEF
+			}
+			g := NewCBR(n, CBRConfig{
+				Src: a, SrcPort: port, Dst: b.Addr(port),
+				Bps: float64(int(r)+1) * 50e3, PktSize: int(r)%1400 + 100, DSCP: dscp,
+			})
+			g.Start()
+			gens = append(gens, g)
+		}
+		k.RunUntil(5 * time.Second)
+		for _, g := range gens {
+			g.Stop()
+		}
+		k.Run() // drain
+		for _, g := range gens {
+			st := n.FlowStats(g.Flow())
+			if st.Delivered+st.Dropped != st.Sent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: qdisc backlog accounting never goes negative and respects
+// configured limits under arbitrary enqueue/dequeue interleavings.
+func TestPropertyQdiscBacklogBounds(t *testing.T) {
+	prop := func(ops []uint16, qdiscSel uint8) bool {
+		const limit = 8 * 1024
+		var q Qdisc
+		switch qdiscSel % 3 {
+		case 0:
+			q = NewFIFO(limit)
+		case 1:
+			q = NewDRR(1500, limit)
+		default:
+			q = NewDiffServ(limit, NewFIFO(limit))
+		}
+		now := sim.Time(0)
+		for _, op := range ops {
+			if op%3 == 0 {
+				q.Dequeue(now)
+			} else {
+				q.Enqueue(&Packet{
+					Size: int(op)%1500 + 40,
+					Flow: FlowID(op % 5),
+					DSCP: DSCP(op % 64),
+				})
+			}
+			now += time.Millisecond
+			if q.Backlog() < 0 {
+				return false
+			}
+			// DiffServ has several internal bands; total is bounded by
+			// a small multiple of the per-band limit.
+			if q.Backlog() > 3*limit+1500 {
+				return false
+			}
+		}
+		// Draining returns every byte.
+		for {
+			p, _ := q.Dequeue(now)
+			if p == nil {
+				break
+			}
+		}
+		return q.Backlog() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a reserved flow's delivered bytes over any horizon never
+// exceed its token-bucket envelope (rate*T + burst + one packet) while
+// the link is contended, for arbitrary reservation parameters.
+func TestPropertyTokenBucketEnvelope(t *testing.T) {
+	prop := func(rateSel, burstSel uint8) bool {
+		rateBps := float64(int(rateSel)%20+5) * 1e5 // 0.5..2.4 Mbps
+		burst := (int(burstSel)%16 + 4) * 1024      // 4..19 KiB
+		k := sim.NewKernel(31)
+		n := New(k)
+		a := n.AddHost("a")
+		b := n.AddHost("b")
+		mk := func() Qdisc { return NewIntServ(NewFIFO(64 * 1024)) }
+		n.Connect(a, b, LinkConfig{Bps: 10e6, Queue: mk()}, LinkConfig{Bps: 10e6, Queue: mk()})
+		b.Bind(9, func(*Packet) {})
+		b.Bind(10, func(*Packet) {})
+		flow := n.NewFlowID()
+		k.Go("setup", func(p *sim.Proc) {
+			if _, err := n.ReserveFlow(p, ReservationSpec{
+				Flow: flow, Src: a, Dst: b, RateBps: rateBps, BurstBytes: burst,
+			}); err != nil {
+				panic(err)
+			}
+			// Saturate the best-effort band so no borrowing is possible.
+			bg := NewCBR(n, CBRConfig{Src: a, SrcPort: 10, Dst: b.Addr(10), Bps: 20e6, PktSize: 1200})
+			bg.Start()
+			// Offer 3x the reservation on the reserved flow.
+			src := NewCBR(n, CBRConfig{Src: a, SrcPort: 9, Dst: b.Addr(9), Bps: 3 * rateBps, PktSize: 1000, Flow: flow})
+			src.Start()
+			p.Sleep(8 * time.Second)
+			src.Stop()
+			bg.Stop()
+		})
+		k.RunUntil(8 * time.Second)
+		k.Stop()
+		st := n.FlowStats(flow)
+		horizon := 8.0
+		envelope := rateBps/8*horizon + float64(burst) + 1500
+		return float64(st.DeliveredBytes) <= envelope
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

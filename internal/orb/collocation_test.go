@@ -1,0 +1,181 @@
+package orb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rtcorba"
+	"repro/internal/rtos"
+)
+
+func TestCollocatedInvocation(t *testing.T) {
+	r := newRig(t, Config{}, Config{})
+	srv := &echoServant{}
+	poa, _ := r.server.CreatePOA("app", POAConfig{Model: rtcorba.ClientPropagated})
+	ref, _ := poa.Activate("echo", srv)
+
+	// Invoke from a thread on the SERVER host through the server's own
+	// ORB: the call must complete without touching the network.
+	var reply []byte
+	var err error
+	r.serverHost.Spawn("local", 10, func(th *rtos.Thread) {
+		_ = r.server.Current(th).SetPriority(22000)
+		reply, err = r.server.Invoke(th, ref, "op", []byte{1, 2, 3})
+	})
+	r.k.RunUntil(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) != 3 {
+		t.Fatalf("reply = %v", reply)
+	}
+	if srv.calls != 1 || srv.lastPrio != 22000 {
+		t.Fatalf("servant saw calls=%d prio=%d", srv.calls, srv.lastPrio)
+	}
+	// No network flow stats should exist for a collocated call: the
+	// server ORB opened no client connections.
+	if len(r.server.conns) != 0 {
+		t.Fatalf("collocated call opened %d connections", len(r.server.conns))
+	}
+}
+
+func TestCollocationPreservesServerDeclared(t *testing.T) {
+	r := newRig(t, Config{}, Config{})
+	srv := &echoServant{}
+	poa, _ := r.server.CreatePOA("app", POAConfig{
+		Model:          rtcorba.ServerDeclared,
+		ServerPriority: 31000,
+	})
+	ref, _ := poa.Activate("echo", srv)
+	r.serverHost.Spawn("local", 10, func(th *rtos.Thread) {
+		_ = r.server.Current(th).SetPriority(50)
+		_, _ = r.server.Invoke(th, ref, "op", nil)
+	})
+	r.k.RunUntil(time.Second)
+	if srv.lastPrio != 31000 {
+		t.Fatalf("collocated server-declared dispatch at %d, want 31000", srv.lastPrio)
+	}
+}
+
+func TestCollocationDisabledUsesTransport(t *testing.T) {
+	r := newRig(t, Config{}, Config{DisableCollocation: true})
+	srv := &echoServant{}
+	poa, _ := r.server.CreatePOA("app", POAConfig{})
+	ref, _ := poa.Activate("echo", srv)
+	var err error
+	r.serverHost.Spawn("local", 10, func(th *rtos.Thread) {
+		_, err = r.server.Invoke(th, ref, "op", nil)
+	})
+	r.k.RunUntil(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.calls != 1 {
+		t.Fatalf("calls = %d", srv.calls)
+	}
+	// The loopback path opened a real connection.
+	if len(r.server.conns) == 0 {
+		t.Fatal("no connection despite DisableCollocation")
+	}
+}
+
+func TestCollocatedObjectNotExist(t *testing.T) {
+	r := newRig(t, Config{}, Config{})
+	_, _ = r.server.CreatePOA("app", POAConfig{})
+	bogus := &ObjectRef{Addr: r.server.Addr(), Key: []byte("app/ghost")}
+	var err error
+	r.serverHost.Spawn("local", 10, func(th *rtos.Thread) {
+		_, err = r.server.Invoke(th, bogus, "op", nil)
+	})
+	r.k.RunUntil(time.Second)
+	if !errors.Is(err, ErrObjectNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollocatedOneway(t *testing.T) {
+	r := newRig(t, Config{}, Config{})
+	srv := &echoServant{}
+	poa, _ := r.server.CreatePOA("app", POAConfig{})
+	ref, _ := poa.Activate("echo", srv)
+	r.serverHost.Spawn("local", 10, func(th *rtos.Thread) {
+		if err := r.server.InvokeOneway(th, ref, "fire", nil); err != nil {
+			t.Errorf("oneway: %v", err)
+		}
+	})
+	r.k.RunUntil(time.Second)
+	if srv.calls != 1 {
+		t.Fatalf("calls = %d", srv.calls)
+	}
+}
+
+func TestCancelRequestAbandonsQueuedWork(t *testing.T) {
+	r := newRig(t, Config{}, Config{})
+	// Single-threaded lane: the first (slow) request occupies the
+	// thread; the second is queued, times out client-side, and must be
+	// abandoned rather than dispatched.
+	poa, _ := r.server.CreatePOA("app", POAConfig{
+		Lanes: []rtcorba.LaneConfig{{Priority: 0, Threads: 1}},
+	})
+	calls := 0
+	slow := ServantFunc(func(req *ServerRequest) ([]byte, error) {
+		calls++
+		req.Thread.Sleep(2 * time.Second)
+		return nil, nil
+	})
+	ref, _ := poa.Activate("slow", slow)
+	var err2 error
+	r.clientHost.Spawn("caller1", 10, func(th *rtos.Thread) {
+		_, _ = r.client.Invoke(th, ref, "op", nil)
+	})
+	r.clientHost.Spawn("caller2", 10, func(th *rtos.Thread) {
+		th.Sleep(10 * time.Millisecond)
+		_, err2 = r.client.InvokeOpt(th, ref, "op", nil, InvokeOptions{Timeout: 200 * time.Millisecond, Priority: -1})
+	})
+	r.k.RunUntil(10 * time.Second)
+	if !errors.Is(err2, ErrTimeout) {
+		t.Fatalf("second call err = %v, want timeout", err2)
+	}
+	if calls != 1 {
+		t.Fatalf("servant dispatched %d times; cancelled request was not abandoned", calls)
+	}
+}
+
+func TestLocateRemote(t *testing.T) {
+	r := newRig(t, Config{}, Config{})
+	poa, _ := r.server.CreatePOA("app", POAConfig{})
+	ref, _ := poa.Activate("real", &echoServant{})
+	ghost := &ObjectRef{Addr: r.server.Addr(), Key: []byte("app/ghost")}
+	var hereReal, hereGhost bool
+	var err1, err2 error
+	r.clientHost.Spawn("caller", 10, func(th *rtos.Thread) {
+		hereReal, err1 = r.client.Locate(th, ref, time.Second)
+		hereGhost, err2 = r.client.Locate(th, ghost, time.Second)
+	})
+	r.k.RunUntil(time.Second)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v / %v", err1, err2)
+	}
+	if !hereReal {
+		t.Fatal("existing object not located")
+	}
+	if hereGhost {
+		t.Fatal("ghost object located")
+	}
+}
+
+func TestLocateCollocated(t *testing.T) {
+	r := newRig(t, Config{}, Config{})
+	poa, _ := r.server.CreatePOA("app", POAConfig{})
+	ref, _ := poa.Activate("real", &echoServant{})
+	var here bool
+	var err error
+	r.serverHost.Spawn("local", 10, func(th *rtos.Thread) {
+		here, err = r.server.Locate(th, ref, time.Second)
+	})
+	r.k.RunUntil(time.Second)
+	if err != nil || !here {
+		t.Fatalf("collocated locate = %v, %v", here, err)
+	}
+}

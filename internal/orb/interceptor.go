@@ -1,0 +1,166 @@
+package orb
+
+import (
+	"repro/internal/giop"
+	"repro/internal/rtcorba"
+	"repro/internal/sim"
+)
+
+// Portable interceptors: the CORBA meta-programming hook QuO uses to
+// weave QoS measurement and adaptation into the invocation path without
+// touching application code. Client interceptors see each outgoing
+// request before it is marshalled and its reply after it returns; server
+// interceptors bracket each servant dispatch.
+
+// ClientRequestInfo describes one outgoing invocation to interceptors.
+type ClientRequestInfo struct {
+	// Ref is the invocation target.
+	Ref *ObjectRef
+	// Op is the operation name.
+	Op string
+	// Priority is the effective CORBA priority (interceptors may raise
+	// or lower it before the request is sent).
+	Priority rtcorba.Priority
+	// Oneway reports fire-and-forget invocations.
+	Oneway bool
+	// SentAt is the virtual time the request entered the ORB.
+	SentAt sim.Time
+	// ExtraContexts lets send interceptors attach service contexts.
+	ExtraContexts []giop.ServiceContext
+	// Err is the invocation outcome, visible to reply interceptors.
+	Err error
+	// RTT is the invocation round-trip time, visible to reply
+	// interceptors (zero for oneways).
+	RTT sim.Time
+}
+
+// ClientInterceptor brackets client invocations.
+type ClientInterceptor interface {
+	// SendRequest runs before marshalling; it may mutate Priority and
+	// append ExtraContexts.
+	SendRequest(info *ClientRequestInfo)
+	// ReceiveReply runs after the reply (or error) is available.
+	ReceiveReply(info *ClientRequestInfo)
+}
+
+// ServerRequestInfo describes one inbound dispatch to interceptors.
+type ServerRequestInfo struct {
+	// Request is the dispatch about to run (or just completed).
+	Request *ServerRequest
+	// Err is the servant outcome, visible to SendReply.
+	Err error
+}
+
+// ServerInterceptor brackets servant dispatches.
+type ServerInterceptor interface {
+	// ReceiveRequest runs on the dispatching pool thread before the
+	// servant.
+	ReceiveRequest(info *ServerRequestInfo)
+	// SendReply runs after the servant returns, before the reply is
+	// marshalled.
+	SendReply(info *ServerRequestInfo)
+}
+
+// AddClientInterceptor registers ci; interceptors run in registration
+// order on requests and reverse order on replies.
+func (o *ORB) AddClientInterceptor(ci ClientInterceptor) {
+	o.clientInterceptors = append(o.clientInterceptors, ci)
+}
+
+// AddServerInterceptor registers si with the same ordering rules.
+func (o *ORB) AddServerInterceptor(si ServerInterceptor) {
+	o.serverInterceptors = append(o.serverInterceptors, si)
+}
+
+func (o *ORB) interceptSend(info *ClientRequestInfo) {
+	for _, ci := range o.clientInterceptors {
+		ci.SendRequest(info)
+	}
+}
+
+func (o *ORB) interceptReply(info *ClientRequestInfo) {
+	for i := len(o.clientInterceptors) - 1; i >= 0; i-- {
+		o.clientInterceptors[i].ReceiveReply(info)
+	}
+}
+
+func (o *ORB) interceptReceive(info *ServerRequestInfo) {
+	for _, si := range o.serverInterceptors {
+		si.ReceiveRequest(info)
+	}
+}
+
+func (o *ORB) interceptSendReply(info *ServerRequestInfo) {
+	for i := len(o.serverInterceptors) - 1; i >= 0; i-- {
+		o.serverInterceptors[i].SendReply(info)
+	}
+}
+
+// LatencyProbe is a ready-made client interceptor recording round-trip
+// times per operation — the measurement half of a QuO system condition.
+type LatencyProbe struct {
+	// Observe receives each completed two-way invocation's RTT.
+	Observe func(op string, rtt sim.Time, err error)
+}
+
+var _ ClientInterceptor = (*LatencyProbe)(nil)
+
+// SendRequest implements ClientInterceptor.
+func (*LatencyProbe) SendRequest(*ClientRequestInfo) {}
+
+// ReceiveReply implements ClientInterceptor.
+func (p *LatencyProbe) ReceiveReply(info *ClientRequestInfo) {
+	if p.Observe != nil && !info.Oneway {
+		p.Observe(info.Op, info.RTT, info.Err)
+	}
+}
+
+// PriorityFloor is a ready-made client interceptor enforcing a minimum
+// invocation priority — a policy knob a QoS manager can install without
+// touching callers.
+type PriorityFloor struct {
+	Min rtcorba.Priority
+}
+
+var _ ClientInterceptor = (*PriorityFloor)(nil)
+
+// SendRequest implements ClientInterceptor.
+func (f *PriorityFloor) SendRequest(info *ClientRequestInfo) {
+	if info.Priority < f.Min {
+		info.Priority = f.Min
+	}
+}
+
+// ReceiveReply implements ClientInterceptor.
+func (*PriorityFloor) ReceiveReply(*ClientRequestInfo) {}
+
+// DispatchProbe is a ready-made server interceptor recording servant
+// execution times.
+type DispatchProbe struct {
+	start   map[*ServerRequest]sim.Time
+	Observe func(op string, exec sim.Time, prio rtcorba.Priority)
+}
+
+var _ ServerInterceptor = (*DispatchProbe)(nil)
+
+// NewDispatchProbe creates a probe delivering to observe.
+func NewDispatchProbe(observe func(op string, exec sim.Time, prio rtcorba.Priority)) *DispatchProbe {
+	return &DispatchProbe{start: make(map[*ServerRequest]sim.Time), Observe: observe}
+}
+
+// ReceiveRequest implements ServerInterceptor.
+func (p *DispatchProbe) ReceiveRequest(info *ServerRequestInfo) {
+	p.start[info.Request] = info.Request.Now()
+}
+
+// SendReply implements ServerInterceptor.
+func (p *DispatchProbe) SendReply(info *ServerRequestInfo) {
+	start, ok := p.start[info.Request]
+	if !ok {
+		return
+	}
+	delete(p.start, info.Request)
+	if p.Observe != nil {
+		p.Observe(info.Request.Op, info.Request.Now()-start, info.Request.Priority)
+	}
+}

@@ -1,0 +1,540 @@
+// Package orb implements a CORBA-style Object Request Broker over the
+// simulated network: real GIOP 1.2 messages (built with the cdr and giop
+// packages) carried on reliable transport connections, a POA object
+// adapter with constant-time request demultiplexing, RT-CORBA priority
+// propagation via service contexts, priority-banded connections, and the
+// paper's TAO extension mapping CORBA priorities to DiffServ codepoints
+// on the wire.
+//
+// Protocol processing consumes simulated CPU on the hosts involved
+// (marshalling, demultiplexing, dispatching), so end-to-end invocation
+// latency reflects both network and endsystem contention — the property
+// the paper's experiments measure.
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/giop"
+	"repro/internal/netsim"
+	"repro/internal/rtcorba"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Errors returned by invocations.
+var (
+	// ErrTimeout means the reply did not arrive within the deadline.
+	ErrTimeout = errors.New("orb: invocation timed out")
+	// ErrObjectNotExist means the object key resolved to no servant.
+	ErrObjectNotExist = errors.New("orb: OBJECT_NOT_EXIST")
+	// ErrTransient means the server refused the request (full lane queue).
+	ErrTransient = errors.New("orb: TRANSIENT")
+)
+
+// SystemException is a CORBA system exception returned by a servant.
+type SystemException struct {
+	ID    string
+	Minor uint32
+}
+
+func (e *SystemException) Error() string {
+	return fmt.Sprintf("orb: system exception %s (minor %d)", e.ID, e.Minor)
+}
+
+// Config parameterises an ORB instance.
+type Config struct {
+	// ListenPort is the server port. Defaults to 2809.
+	ListenPort uint16
+	// IOPriority is the native priority of the ORB's acceptor and
+	// connection reader threads. Defaults to the host's maximum: the
+	// protocol engine must not be starved by application threads.
+	IOPriority rtos.Priority
+	// ByteOrder selects the GIOP encoding. Defaults to little-endian,
+	// matching the paper's x86 testbed.
+	ByteOrder cdr.ByteOrder
+	// CostFixed is the CPU cost of processing one GIOP message
+	// (demultiplexing, header handling). Defaults to 20µs.
+	CostFixed time.Duration
+	// CostPerKB is the additional CPU cost per KiB of message body
+	// ((de)marshalling). Defaults to 8µs.
+	CostPerKB time.Duration
+	// NetMapping maps invocation CORBA priorities to DSCPs on the wire.
+	// Defaults to best effort (no network priority management).
+	NetMapping rtcorba.NetworkPriorityMapping
+	// PriorityBands, when non-empty, enables priority-banded
+	// connections: one transport connection per band, so low-priority
+	// traffic cannot head-of-line-block high-priority requests.
+	PriorityBands []rtcorba.Priority
+	// DisableCollocation forces invocations on objects served by this
+	// same ORB through the full marshal/transport/demarshal path
+	// instead of the collocated fast path (TAO's collocation
+	// optimisation). Useful for measuring what the optimisation buys.
+	DisableCollocation bool
+}
+
+func (c *Config) defaults() {
+	if c.ListenPort == 0 {
+		c.ListenPort = 2809
+	}
+	if c.CostFixed == 0 {
+		c.CostFixed = 20 * time.Microsecond
+	}
+	if c.CostPerKB == 0 {
+		c.CostPerKB = 8 * time.Microsecond
+	}
+	if c.NetMapping == nil {
+		c.NetMapping = rtcorba.BestEffortMapping{}
+	}
+}
+
+// ORB is one Object Request Broker endpoint on a host.
+type ORB struct {
+	name string
+	host *rtos.Host
+	ep   *transport.Endpoint
+	cfg  Config
+	mm   *rtcorba.MappingManager
+
+	lis      *transport.Listener
+	poas     map[string]*POA
+	conns    map[connKey]*clientConn
+	pending  map[uint32]*pendingCall
+	currents map[*rtos.Thread]rtcorba.Priority
+	reqSeq   uint32
+	shutdown bool
+
+	clientInterceptors []ClientInterceptor
+	serverInterceptors []ServerInterceptor
+
+	// Stats
+	requestsSent       int64
+	requestsDispatched int64
+}
+
+type connKey struct {
+	addr netsim.Addr
+	band int
+}
+
+type clientConn struct {
+	stream *transport.StreamConn
+}
+
+type pendingCall struct {
+	sig    *sim.Signal
+	reply  *giop.Reply
+	locate *giop.LocateReply
+}
+
+// New creates an ORB for host attached to network node. The ORB starts
+// its acceptor immediately.
+func New(name string, host *rtos.Host, net *netsim.Network, node *netsim.Node, cfg Config) *ORB {
+	cfg.defaults()
+	if cfg.IOPriority == 0 {
+		cfg.IOPriority = host.Priorities().Max
+	}
+	o := &ORB{
+		name:     name,
+		host:     host,
+		ep:       transport.NewEndpoint(net, node),
+		cfg:      cfg,
+		mm:       rtcorba.NewMappingManager(),
+		poas:     make(map[string]*POA),
+		conns:    make(map[connKey]*clientConn),
+		pending:  make(map[uint32]*pendingCall),
+		currents: make(map[*rtos.Thread]rtcorba.Priority),
+	}
+	o.lis = o.ep.Listen(cfg.ListenPort)
+	host.Spawn(name+"-acceptor", cfg.IOPriority, o.acceptLoop)
+	return o
+}
+
+// Name returns the ORB's name.
+func (o *ORB) Name() string { return o.name }
+
+// Host returns the ORB's host.
+func (o *ORB) Host() *rtos.Host { return o.host }
+
+// Endpoint returns the ORB's transport endpoint.
+func (o *ORB) Endpoint() *transport.Endpoint { return o.ep }
+
+// Addr returns the ORB's listening address.
+func (o *ORB) Addr() netsim.Addr { return o.ep.Addr(o.cfg.ListenPort) }
+
+// MappingManager returns the ORB's priority mapping manager.
+func (o *ORB) MappingManager() *rtcorba.MappingManager { return o.mm }
+
+// RequestsSent returns the number of client requests issued.
+func (o *ORB) RequestsSent() int64 { return o.requestsSent }
+
+// RequestsDispatched returns the number of server dispatches completed.
+func (o *ORB) RequestsDispatched() int64 { return o.requestsDispatched }
+
+// Shutdown stops accepting connections and closes client connections.
+func (o *ORB) Shutdown() {
+	if o.shutdown {
+		return
+	}
+	o.shutdown = true
+	o.lis.Close()
+	for _, c := range o.conns {
+		c.stream.Send(&transport.Message{Data: (&giop.CloseConnection{}).Marshal(o.cfg.ByteOrder)})
+		c.stream.Close()
+	}
+}
+
+// msgCost returns the CPU cost of handling a message of the given size.
+func (o *ORB) msgCost(size int) time.Duration {
+	return o.cfg.CostFixed + time.Duration(int64(o.cfg.CostPerKB)*int64(size)/1024)
+}
+
+// Current is the RT-CORBA Current interface for one thread: it carries
+// the thread's CORBA priority, mapping it to the native scheduler.
+type Current struct {
+	orb *ORB
+	t   *rtos.Thread
+}
+
+// Current returns the RTCurrent for thread t.
+func (o *ORB) Current(t *rtos.Thread) *Current { return &Current{orb: o, t: t} }
+
+// SetPriority sets the thread's CORBA priority, adjusting its native
+// priority through the installed mapping.
+func (c *Current) SetPriority(p rtcorba.Priority) error {
+	native, ok := c.orb.mm.ToNative(p, c.t.Host().Priorities())
+	if !ok {
+		return fmt.Errorf("orb: CORBA priority %d does not map on %s", p, c.t.Host().Name())
+	}
+	c.t.SetPriority(native)
+	c.orb.currents[c.t] = p
+	return nil
+}
+
+// Priority returns the thread's CORBA priority: the value set via
+// SetPriority, or the inverse mapping of its native priority.
+func (c *Current) Priority() rtcorba.Priority {
+	if p, ok := c.orb.currents[c.t]; ok {
+		return p
+	}
+	p, ok := c.orb.mm.ToCORBA(c.t.Priority(), c.t.Host().Priorities())
+	if !ok {
+		return 0
+	}
+	return p
+}
+
+// band returns the priority band index for a CORBA priority.
+func (o *ORB) band(p rtcorba.Priority) int {
+	band := 0
+	for i, b := range o.cfg.PriorityBands {
+		if p >= b {
+			band = i
+		}
+	}
+	return band
+}
+
+// connFor returns (creating on demand) the client connection to addr in
+// the band for priority p, with the band's DSCP applied.
+func (o *ORB) connFor(addr netsim.Addr, p rtcorba.Priority) *clientConn {
+	key := connKey{addr: addr, band: o.band(p)}
+	c, ok := o.conns[key]
+	if !ok {
+		localPort := o.ep.Node().EphemeralPort()
+		c = &clientConn{stream: o.ep.Dial(localPort, addr)}
+		o.conns[key] = c
+		o.host.Spawn(fmt.Sprintf("%s-creader-%d", o.name, localPort), o.cfg.IOPriority, func(t *rtos.Thread) {
+			o.clientReader(c, t)
+		})
+	}
+	c.stream.SetDSCP(o.cfg.NetMapping.ToDSCP(p))
+	return c
+}
+
+// clientReader drains replies on a client connection, completing pending
+// calls.
+func (o *ORB) clientReader(c *clientConn, t *rtos.Thread) {
+	for {
+		m := c.stream.Recv(t.Proc())
+		t.Compute(o.msgCost(len(m.Data)))
+		msg, err := giop.Decode(m.Data)
+		if err != nil {
+			continue
+		}
+		switch rep := msg.(type) {
+		case *giop.Reply:
+			if pc, ok := o.pending[rep.RequestID]; ok {
+				delete(o.pending, rep.RequestID)
+				pc.reply = rep
+				pc.sig.Broadcast()
+			}
+		case *giop.LocateReply:
+			if pc, ok := o.pending[rep.RequestID]; ok {
+				delete(o.pending, rep.RequestID)
+				pc.locate = rep
+				pc.sig.Broadcast()
+			}
+		case *giop.CloseConnection:
+			return
+		}
+	}
+}
+
+// InvokeOptions tune a single invocation.
+type InvokeOptions struct {
+	// Oneway suppresses the reply (fire and forget).
+	Oneway bool
+	// Timeout bounds the wait for a reply; zero waits forever.
+	Timeout time.Duration
+	// Priority overrides the calling thread's CORBA priority for this
+	// invocation. Negative means "use the thread's priority".
+	Priority rtcorba.Priority
+}
+
+// Invoke performs a synchronous CORBA invocation of op on ref from
+// thread t, returning the reply body.
+func (o *ORB) Invoke(t *rtos.Thread, ref *ObjectRef, op string, body []byte) ([]byte, error) {
+	return o.InvokeOpt(t, ref, op, body, InvokeOptions{Priority: -1})
+}
+
+// InvokeOneway sends a request without waiting for a reply.
+func (o *ORB) InvokeOneway(t *rtos.Thread, ref *ObjectRef, op string, body []byte) error {
+	_, err := o.InvokeOpt(t, ref, op, body, InvokeOptions{Oneway: true, Priority: -1})
+	return err
+}
+
+// InvokeOpt is Invoke with explicit options.
+func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, opts InvokeOptions) ([]byte, error) {
+	if o.shutdown {
+		return nil, errors.New("orb: shut down")
+	}
+	prio := opts.Priority
+	if prio < 0 {
+		prio = o.Current(t).Priority()
+	}
+	// Client interceptors see the request before anything else happens
+	// and may adjust its priority or attach service contexts.
+	info := &ClientRequestInfo{
+		Ref:      ref,
+		Op:       op,
+		Priority: prio,
+		Oneway:   opts.Oneway,
+		SentAt:   o.ep.Kernel().Now(),
+	}
+	o.interceptSend(info)
+	prio = info.Priority
+
+	if !o.cfg.DisableCollocation && ref.Addr == o.Addr() {
+		reply, err := o.invokeCollocated(t, ref, op, body, prio, opts)
+		info.Err = err
+		info.RTT = o.ep.Kernel().Now() - info.SentAt
+		o.interceptReply(info)
+		return reply, err
+	}
+	o.reqSeq++
+	reqID := o.reqSeq
+	o.requestsSent++
+
+	contexts := []giop.ServiceContext{
+		giop.PriorityContext(int16(prio), o.cfg.ByteOrder),
+		giop.TimestampContext(int64(o.ep.Kernel().Now()), o.cfg.ByteOrder),
+	}
+	contexts = append(contexts, info.ExtraContexts...)
+	req := &giop.Request{
+		RequestID:        reqID,
+		ResponseExpected: !opts.Oneway,
+		ObjectKey:        ref.Key,
+		Operation:        op,
+		ServiceContexts:  contexts,
+		Body:             body,
+	}
+	// Marshalling consumes client CPU before the message hits the wire.
+	t.Compute(o.msgCost(len(body)))
+	wire := req.Marshal(o.cfg.ByteOrder)
+
+	conn := o.connFor(ref.Addr, prio)
+	var pc *pendingCall
+	if !opts.Oneway {
+		pc = &pendingCall{sig: sim.NewSignal()}
+		o.pending[reqID] = pc
+	}
+	// Blocking write: under congestion the client experiences socket-
+	// buffer backpressure rather than queueing unboundedly.
+	conn.stream.SendWait(t.Proc(), &transport.Message{Data: wire})
+	finish := func(body []byte, err error) ([]byte, error) {
+		info.Err = err
+		info.RTT = o.ep.Kernel().Now() - info.SentAt
+		o.interceptReply(info)
+		return body, err
+	}
+	if opts.Oneway {
+		return finish(nil, nil)
+	}
+
+	if opts.Timeout > 0 {
+		if !pc.sig.WaitTimeout(t.Proc(), opts.Timeout) {
+			delete(o.pending, reqID)
+			// Tell the server to abandon the request if still queued.
+			cancel := (&giop.CancelRequest{RequestID: reqID}).Marshal(o.cfg.ByteOrder)
+			conn.stream.Send(&transport.Message{Data: cancel})
+			return finish(nil, ErrTimeout)
+		}
+	} else {
+		pc.sig.Wait(t.Proc())
+	}
+	rep := pc.reply
+	// Demarshalling the reply consumes client CPU.
+	t.Compute(o.msgCost(len(rep.Body)))
+	switch rep.Status {
+	case giop.StatusNoException:
+		return finish(rep.Body, nil)
+	case giop.StatusSystemException:
+		return finish(nil, decodeSystemException(rep, o.cfg.ByteOrder))
+	default:
+		return finish(nil, fmt.Errorf("orb: unsupported reply status %v", rep.Status))
+	}
+}
+
+// Locate performs a GIOP LocateRequest: it reports whether the target
+// object is dispatchable at ref without invoking it — the cheap
+// existence probe CORBA clients use before expensive calls.
+func (o *ORB) Locate(t *rtos.Thread, ref *ObjectRef, timeout time.Duration) (bool, error) {
+	if o.shutdown {
+		return false, errors.New("orb: shut down")
+	}
+	if !o.cfg.DisableCollocation && ref.Addr == o.Addr() {
+		_, _, ok := o.resolveKey(ref.Key)
+		return ok, nil
+	}
+	o.reqSeq++
+	reqID := o.reqSeq
+	wire := (&giop.LocateRequest{RequestID: reqID, ObjectKey: ref.Key}).Marshal(o.cfg.ByteOrder)
+	t.Compute(o.msgCost(len(wire)))
+	conn := o.connFor(ref.Addr, o.Current(t).Priority())
+	pc := &pendingCall{sig: sim.NewSignal()}
+	o.pending[reqID] = pc
+	conn.stream.SendWait(t.Proc(), &transport.Message{Data: wire})
+	if timeout > 0 {
+		if !pc.sig.WaitTimeout(t.Proc(), timeout) {
+			delete(o.pending, reqID)
+			return false, ErrTimeout
+		}
+	} else {
+		pc.sig.Wait(t.Proc())
+	}
+	if pc.locate == nil {
+		return false, fmt.Errorf("orb: locate got unexpected reply")
+	}
+	return pc.locate.Status == giop.LocateObjectHere, nil
+}
+
+// resolveKey finds the POA and servant for an object key.
+func (o *ORB) resolveKey(key []byte) (*POA, Servant, bool) {
+	poaName, objID, ok := strings.Cut(string(key), "/")
+	if !ok {
+		return nil, nil, false
+	}
+	poa, ok := o.poas[poaName]
+	if !ok {
+		return nil, nil, false
+	}
+	servant, ok := poa.servants[objID]
+	return poa, servant, ok
+}
+
+// invokeCollocated is the collocation fast path: when the target object
+// lives in this same ORB, the request skips marshalling and the
+// transport entirely and is dispatched straight onto the target POA's
+// thread pool — priority semantics (the priority model, lane selection,
+// native priority at dispatch) are fully preserved, as TAO's collocated
+// stubs preserve them.
+func (o *ORB) invokeCollocated(t *rtos.Thread, ref *ObjectRef, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions) ([]byte, error) {
+	o.requestsSent++
+	poaName, objID, ok := strings.Cut(string(ref.Key), "/")
+	if !ok {
+		return nil, fmt.Errorf("%w (collocated, bad key)", ErrObjectNotExist)
+	}
+	poa, ok := o.poas[poaName]
+	if !ok {
+		return nil, fmt.Errorf("%w (collocated, POA %q)", ErrObjectNotExist, poaName)
+	}
+	servant, ok := poa.servants[objID]
+	if !ok {
+		return nil, fmt.Errorf("%w (collocated, object %q)", ErrObjectNotExist, objID)
+	}
+	if poa.cfg.Model == rtcorba.ServerDeclared {
+		prio = poa.cfg.ServerPriority
+	}
+	// A collocated call still costs a (small) constant: TAO's collocated
+	// stubs avoid (de)marshalling but not the dispatch machinery.
+	t.Compute(o.cfg.CostFixed / 4)
+
+	done := sim.NewSignal()
+	var replyBody []byte
+	var dispatchErr error
+	work := rtcorba.Work{
+		Priority: prio,
+		Fn: func(pt *rtos.Thread) {
+			sreq := &ServerRequest{
+				Op:       op,
+				Body:     body,
+				Priority: prio,
+				SentAt:   o.ep.Kernel().Now(),
+				Thread:   pt,
+				ORB:      o,
+				Oneway:   opts.Oneway,
+			}
+			sinfo := &ServerRequestInfo{Request: sreq}
+			o.interceptReceive(sinfo)
+			replyBody, dispatchErr = servant.Dispatch(sreq)
+			sinfo.Err = dispatchErr
+			o.interceptSendReply(sinfo)
+			o.requestsDispatched++
+			done.Broadcast()
+		},
+	}
+	if !poa.pool.Dispatch(work) {
+		return nil, fmt.Errorf("%w (collocated, lane queue full)", ErrTransient)
+	}
+	if opts.Oneway {
+		return nil, nil
+	}
+	if opts.Timeout > 0 {
+		if !done.WaitTimeout(t.Proc(), opts.Timeout) {
+			return nil, ErrTimeout
+		}
+	} else {
+		done.Wait(t.Proc())
+	}
+	return replyBody, dispatchErr
+}
+
+func decodeSystemException(rep *giop.Reply, order cdr.ByteOrder) error {
+	d := cdr.NewDecoder(rep.Body, order)
+	id, err := d.String()
+	if err != nil {
+		return &SystemException{ID: "IDL:omg.org/CORBA/UNKNOWN:1.0"}
+	}
+	minor, _ := d.ULong()
+	switch id {
+	case "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0":
+		return fmt.Errorf("%w (minor %d)", ErrObjectNotExist, minor)
+	case "IDL:omg.org/CORBA/TRANSIENT:1.0":
+		return fmt.Errorf("%w (minor %d)", ErrTransient, minor)
+	default:
+		return &SystemException{ID: id, Minor: minor}
+	}
+}
+
+func encodeSystemException(id string, minor uint32, order cdr.ByteOrder) []byte {
+	e := cdr.NewEncoder(order)
+	e.PutString(id)
+	e.PutULong(minor)
+	return e.Bytes()
+}

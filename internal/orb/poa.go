@@ -1,0 +1,265 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/giop"
+	"repro/internal/rtcorba"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Servant is a CORBA object implementation. Dispatch runs on a thread-
+// pool thread whose priority has been set per the POA's priority model;
+// it returns a CDR-encoded reply body or an error (reported to the
+// client as a system exception).
+type Servant interface {
+	Dispatch(req *ServerRequest) ([]byte, error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(req *ServerRequest) ([]byte, error)
+
+// Dispatch implements Servant.
+func (f ServantFunc) Dispatch(req *ServerRequest) ([]byte, error) { return f(req) }
+
+// ServerRequest carries one inbound invocation to a servant.
+type ServerRequest struct {
+	// Op is the operation name from the GIOP request header.
+	Op string
+	// Body is the CDR-encoded argument stream.
+	Body []byte
+	// Priority is the effective CORBA priority of this dispatch.
+	Priority rtcorba.Priority
+	// SentAt is the client's send time from the invocation-timestamp
+	// service context (zero if absent), enabling one-way latency
+	// measurements.
+	SentAt sim.Time
+	// Thread is the pool thread executing the dispatch; servants use it
+	// to consume CPU (Compute) and block on simulation primitives.
+	Thread *rtos.Thread
+	// ORB is the receiving ORB.
+	ORB *ORB
+	// Oneway reports whether the client expects no reply.
+	Oneway bool
+}
+
+// Now returns the current virtual time.
+func (r *ServerRequest) Now() sim.Time { return r.Thread.Now() }
+
+// POAConfig configures a portable object adapter.
+type POAConfig struct {
+	// Model selects the dispatch priority model. Defaults to
+	// ClientPropagated.
+	Model rtcorba.PriorityModel
+	// ServerPriority is the declared CORBA priority for ServerDeclared
+	// POAs (also the default dispatch priority when a client-propagated
+	// request carries no priority context).
+	ServerPriority rtcorba.Priority
+	// Lanes configures the POA's thread pool. Defaults to one lane at
+	// ServerPriority with one thread.
+	Lanes []rtcorba.LaneConfig
+}
+
+// POA is a portable object adapter: it demultiplexes object keys to
+// servants in constant time (the analogue of TAO's active demux and
+// perfect hashing) and dispatches requests onto its RT thread pool.
+type POA struct {
+	name     string
+	orb      *ORB
+	cfg      POAConfig
+	pool     *rtcorba.ThreadPool
+	servants map[string]Servant
+}
+
+// CreatePOA creates a POA named name. Names must not contain '/'.
+func (o *ORB) CreatePOA(name string, cfg POAConfig) (*POA, error) {
+	if strings.Contains(name, "/") {
+		return nil, fmt.Errorf("orb: POA name %q contains '/'", name)
+	}
+	if _, dup := o.poas[name]; dup {
+		return nil, fmt.Errorf("orb: POA %q already exists", name)
+	}
+	if cfg.Model == 0 {
+		cfg.Model = rtcorba.ClientPropagated
+	}
+	if len(cfg.Lanes) == 0 {
+		cfg.Lanes = []rtcorba.LaneConfig{{Priority: cfg.ServerPriority, Threads: 1}}
+	}
+	pool, err := rtcorba.NewThreadPool(o.host, o.mm, cfg.Lanes...)
+	if err != nil {
+		return nil, err
+	}
+	p := &POA{
+		name:     name,
+		orb:      o,
+		cfg:      cfg,
+		pool:     pool,
+		servants: make(map[string]Servant),
+	}
+	o.poas[name] = p
+	return p, nil
+}
+
+// Name returns the POA name.
+func (p *POA) Name() string { return p.name }
+
+// Pool returns the POA's thread pool, for inspection.
+func (p *POA) Pool() *rtcorba.ThreadPool { return p.pool }
+
+// Activate registers servant under id and returns its object reference.
+func (p *POA) Activate(id string, s Servant) (*ObjectRef, error) {
+	if strings.Contains(id, "/") {
+		return nil, fmt.Errorf("orb: object id %q contains '/'", id)
+	}
+	if _, dup := p.servants[id]; dup {
+		return nil, fmt.Errorf("orb: object %q already active in POA %q", id, p.name)
+	}
+	p.servants[id] = s
+	return &ObjectRef{
+		Addr:           p.orb.Addr(),
+		Key:            []byte(p.name + "/" + id),
+		Model:          p.cfg.Model,
+		ServerPriority: p.cfg.ServerPriority,
+	}, nil
+}
+
+// Deactivate removes the servant registered under id.
+func (p *POA) Deactivate(id string) { delete(p.servants, id) }
+
+// acceptLoop runs on the ORB's acceptor thread, spawning a reader per
+// inbound connection.
+func (o *ORB) acceptLoop(t *rtos.Thread) {
+	for {
+		conn := o.lis.Accept(t.Proc())
+		if o.shutdown {
+			return
+		}
+		name := fmt.Sprintf("%s-sreader-%v", o.name, conn.RemoteAddr())
+		o.host.Spawn(name, o.cfg.IOPriority, func(rt *rtos.Thread) {
+			o.serverReader(conn, rt)
+		})
+	}
+}
+
+// serverReader parses inbound GIOP messages on one connection and
+// dispatches requests. It runs at the ORB I/O priority; per-request work
+// is handed to the target POA's thread pool.
+func (o *ORB) serverReader(conn *transport.StreamConn, t *rtos.Thread) {
+	// Request ids the client has cancelled; still-queued dispatches for
+	// them are abandoned before reaching the servant.
+	cancelled := make(map[uint32]bool)
+	for {
+		m := conn.Recv(t.Proc())
+		t.Compute(o.msgCost(len(m.Data)))
+		msg, err := giop.Decode(m.Data)
+		if err != nil {
+			conn.Send(&transport.Message{Data: (&giop.MessageError{}).Marshal(o.cfg.ByteOrder)})
+			continue
+		}
+		switch req := msg.(type) {
+		case *giop.Request:
+			o.dispatchRequest(conn, req, cancelled)
+		case *giop.LocateRequest:
+			status := giop.LocateUnknownObject
+			if _, _, ok := o.resolveKey(req.ObjectKey); ok {
+				status = giop.LocateObjectHere
+			}
+			rep := &giop.LocateReply{RequestID: req.RequestID, Status: status}
+			conn.Send(&transport.Message{Data: rep.Marshal(o.cfg.ByteOrder)})
+		case *giop.CancelRequest:
+			cancelled[req.RequestID] = true
+		case *giop.CloseConnection:
+			conn.Close()
+			return
+		}
+	}
+}
+
+// dispatchRequest demultiplexes a request to its servant and queues it on
+// the POA's thread pool.
+func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, cancelled map[uint32]bool) {
+	reply := func(status giop.ReplyStatus, body []byte) {
+		if !req.ResponseExpected {
+			return
+		}
+		rep := &giop.Reply{RequestID: req.RequestID, Status: status, Body: body}
+		conn.Send(&transport.Message{Data: rep.Marshal(o.cfg.ByteOrder)})
+	}
+
+	poaName, objID, ok := strings.Cut(string(req.ObjectKey), "/")
+	if !ok {
+		reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", 1, o.cfg.ByteOrder))
+		return
+	}
+	poa, ok := o.poas[poaName]
+	if !ok {
+		reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", 2, o.cfg.ByteOrder))
+		return
+	}
+	servant, ok := poa.servants[objID]
+	if !ok {
+		reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0", 3, o.cfg.ByteOrder))
+		return
+	}
+
+	// Effective dispatch priority per the POA's priority model.
+	prio := poa.cfg.ServerPriority
+	if poa.cfg.Model == rtcorba.ClientPropagated {
+		if data, found := giop.FindContext(req.ServiceContexts, giop.ServiceRTCorbaPriority); found {
+			if v, err := giop.ParsePriorityContext(data); err == nil {
+				prio = rtcorba.Priority(v)
+			}
+		}
+	}
+	var sentAt sim.Time
+	if data, found := giop.FindContext(req.ServiceContexts, giop.ServiceInvocationTimestamp); found {
+		if v, err := giop.ParseTimestampContext(data); err == nil {
+			sentAt = sim.Time(v)
+		}
+	}
+
+	work := rtcorba.Work{
+		Priority: prio,
+		Fn: func(t *rtos.Thread) {
+			if cancelled[req.RequestID] {
+				delete(cancelled, req.RequestID)
+				return
+			}
+			sreq := &ServerRequest{
+				Op:       req.Operation,
+				Body:     req.Body,
+				Priority: prio,
+				SentAt:   sentAt,
+				Thread:   t,
+				ORB:      o,
+				Oneway:   !req.ResponseExpected,
+			}
+			sinfo := &ServerRequestInfo{Request: sreq}
+			o.interceptReceive(sinfo)
+			body, err := servant.Dispatch(sreq)
+			sinfo.Err = err
+			o.interceptSendReply(sinfo)
+			o.requestsDispatched++
+			if err != nil {
+				var se *SystemException
+				id, minor := "IDL:omg.org/CORBA/UNKNOWN:1.0", uint32(0)
+				if errors.As(err, &se) {
+					id, minor = se.ID, se.Minor
+				}
+				// Marshalling the exception reply costs CPU too.
+				t.Compute(o.msgCost(64))
+				reply(giop.StatusSystemException, encodeSystemException(id, minor, o.cfg.ByteOrder))
+				return
+			}
+			t.Compute(o.msgCost(len(body)))
+			reply(giop.StatusNoException, body)
+		},
+	}
+	if !poa.pool.Dispatch(work) {
+		reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/TRANSIENT:1.0", 1, o.cfg.ByteOrder))
+	}
+}

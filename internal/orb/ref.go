@@ -1,0 +1,88 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/rtcorba"
+)
+
+// ObjectRef is an interoperable object reference: the server address, the
+// object key, and the QoS-relevant tagged components a QoS-enabled object
+// adapter embeds (priority model and declared server priority), so that
+// clients can honour server-side policies — as the paper describes for
+// RT-CORBA object references.
+type ObjectRef struct {
+	Addr           netsim.Addr
+	Key            []byte
+	Model          rtcorba.PriorityModel
+	ServerPriority rtcorba.Priority
+}
+
+// ErrBadRef reports an unparseable stringified reference.
+var ErrBadRef = errors.New("orb: malformed object reference")
+
+// String produces a corbaloc-style stringified reference.
+func (r *ObjectRef) String() string {
+	model := "client"
+	if r.Model == rtcorba.ServerDeclared {
+		model = "server"
+	}
+	return fmt.Sprintf("sior:node=%d;port=%d;key=%s;model=%s;prio=%d",
+		r.Addr.Node, r.Addr.Port, string(r.Key), model, r.ServerPriority)
+}
+
+// ParseRef parses a stringified reference produced by String.
+func ParseRef(s string) (*ObjectRef, error) {
+	body, ok := strings.CutPrefix(s, "sior:")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing sior: prefix", ErrBadRef)
+	}
+	ref := &ObjectRef{Model: rtcorba.ClientPropagated}
+	for _, field := range strings.Split(body, ";") {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: field %q", ErrBadRef, field)
+		}
+		switch k {
+		case "node":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("%w: node %q", ErrBadRef, v)
+			}
+			ref.Addr.Node = netsim.NodeID(n)
+		case "port":
+			n, err := strconv.ParseUint(v, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("%w: port %q", ErrBadRef, v)
+			}
+			ref.Addr.Port = uint16(n)
+		case "key":
+			ref.Key = []byte(v)
+		case "model":
+			switch v {
+			case "client":
+				ref.Model = rtcorba.ClientPropagated
+			case "server":
+				ref.Model = rtcorba.ServerDeclared
+			default:
+				return nil, fmt.Errorf("%w: model %q", ErrBadRef, v)
+			}
+		case "prio":
+			n, err := strconv.Atoi(v)
+			if err != nil || !rtcorba.Priority(n).Valid() {
+				return nil, fmt.Errorf("%w: prio %q", ErrBadRef, v)
+			}
+			ref.ServerPriority = rtcorba.Priority(n)
+		default:
+			return nil, fmt.Errorf("%w: unknown field %q", ErrBadRef, k)
+		}
+	}
+	if len(ref.Key) == 0 {
+		return nil, fmt.Errorf("%w: missing key", ErrBadRef)
+	}
+	return ref, nil
+}

@@ -1,0 +1,181 @@
+package quo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements a miniature contract description language in the
+// spirit of QuO's CDL: contracts are written as text, separating the QoS
+// specification from application code, and compiled into Contract
+// values. The grammar (one clause per line, '#' comments):
+//
+//	contract <name> [every <duration>]
+//	  region <name> [when <cond> <op> <number> [and <cond> <op> <number>]...]
+//
+// Regions are evaluated in order; a region without a 'when' clause always
+// matches (the default region). Operators: <, <=, >, >=, ==, !=.
+//
+// Example:
+//
+//	contract video every 500ms
+//	  region crisis   when loss > 0.25
+//	  region degraded when loss > 0.05 and fps < 20
+//	  region normal
+type cdlParser struct {
+	lines []string
+	pos   int
+}
+
+// ParseContract compiles CDL source into a Contract. Conditions named in
+// predicates must be registered on the contract (AddCondition) before
+// the first evaluation; unknown names read as zero, matching Values
+// semantics.
+func ParseContract(src string) (*Contract, error) {
+	p := &cdlParser{lines: strings.Split(src, "\n")}
+	var c *Contract
+	for {
+		fields, lineNo, ok := p.next()
+		if !ok {
+			break
+		}
+		switch fields[0] {
+		case "contract":
+			if c != nil {
+				return nil, fmt.Errorf("quo: line %d: multiple contract declarations", lineNo)
+			}
+			name, every, err := parseContractHeader(fields)
+			if err != nil {
+				return nil, fmt.Errorf("quo: line %d: %w", lineNo, err)
+			}
+			c = NewContract(name, every)
+		case "region":
+			if c == nil {
+				return nil, fmt.Errorf("quo: line %d: region before contract declaration", lineNo)
+			}
+			r, err := parseRegion(fields)
+			if err != nil {
+				return nil, fmt.Errorf("quo: line %d: %w", lineNo, err)
+			}
+			c.AddRegion(r)
+		default:
+			return nil, fmt.Errorf("quo: line %d: unknown clause %q", lineNo, fields[0])
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("quo: no contract declaration found")
+	}
+	if len(c.regions) == 0 {
+		return nil, fmt.Errorf("quo: contract %q has no regions", c.name)
+	}
+	return c, nil
+}
+
+// next returns the fields of the next non-empty, non-comment line.
+func (p *cdlParser) next() ([]string, int, bool) {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		p.pos++
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			return fields, p.pos, true
+		}
+	}
+	return nil, 0, false
+}
+
+func parseContractHeader(fields []string) (name string, every time.Duration, err error) {
+	switch len(fields) {
+	case 2:
+		return fields[1], 0, nil
+	case 4:
+		if fields[2] != "every" {
+			return "", 0, fmt.Errorf("expected 'every', got %q", fields[2])
+		}
+		d, err := time.ParseDuration(fields[3])
+		if err != nil {
+			return "", 0, fmt.Errorf("bad duration %q: %v", fields[3], err)
+		}
+		if d <= 0 {
+			return "", 0, fmt.Errorf("non-positive evaluation period %v", d)
+		}
+		return fields[1], d, nil
+	default:
+		return "", 0, fmt.Errorf("want 'contract <name> [every <duration>]'")
+	}
+}
+
+func parseRegion(fields []string) (Region, error) {
+	if len(fields) < 2 {
+		return Region{}, fmt.Errorf("want 'region <name> [when ...]'")
+	}
+	r := Region{Name: fields[1]}
+	rest := fields[2:]
+	if len(rest) == 0 {
+		return r, nil // default region
+	}
+	if rest[0] != "when" {
+		return Region{}, fmt.Errorf("expected 'when', got %q", rest[0])
+	}
+	rest = rest[1:]
+	if len(rest) == 0 {
+		return Region{}, fmt.Errorf("'when' with no predicate")
+	}
+	var terms []predicate
+	for len(rest) > 0 {
+		if len(rest) < 3 {
+			return Region{}, fmt.Errorf("incomplete predicate %v", rest)
+		}
+		pred, err := parsePredicate(rest[0], rest[1], rest[2])
+		if err != nil {
+			return Region{}, err
+		}
+		terms = append(terms, pred)
+		rest = rest[3:]
+		if len(rest) > 0 {
+			if rest[0] != "and" {
+				return Region{}, fmt.Errorf("expected 'and', got %q", rest[0])
+			}
+			rest = rest[1:]
+		}
+	}
+	r.When = func(v Values) bool {
+		for _, t := range terms {
+			if !t(v) {
+				return false
+			}
+		}
+		return true
+	}
+	return r, nil
+}
+
+type predicate func(Values) bool
+
+func parsePredicate(cond, op, lit string) (predicate, error) {
+	threshold, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad number %q", lit)
+	}
+	switch op {
+	case "<":
+		return func(v Values) bool { return v[cond] < threshold }, nil
+	case "<=":
+		return func(v Values) bool { return v[cond] <= threshold }, nil
+	case ">":
+		return func(v Values) bool { return v[cond] > threshold }, nil
+	case ">=":
+		return func(v Values) bool { return v[cond] >= threshold }, nil
+	case "==":
+		return func(v Values) bool { return v[cond] == threshold }, nil
+	case "!=":
+		return func(v Values) bool { return v[cond] != threshold }, nil
+	default:
+		return nil, fmt.Errorf("unknown operator %q", op)
+	}
+}

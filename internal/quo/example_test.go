@@ -1,0 +1,63 @@
+package quo_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/quo"
+)
+
+// A contract written in the CDL-style text form, compiled, wired to a
+// measured condition, and driven through its regions.
+func ExampleParseContract() {
+	contract, err := quo.ParseContract(`
+		contract video every 500ms
+		  region crisis   when loss > 0.25
+		  region degraded when loss > 0.05
+		  region normal
+	`)
+	if err != nil {
+		panic(err)
+	}
+	loss := quo.NewMeasuredCond("loss", 0)
+	contract.AddCondition(loss)
+
+	for _, observed := range []float64{0.01, 0.10, 0.40, 0.02} {
+		loss.Set(observed)
+		fmt.Printf("loss=%.2f -> %s\n", observed, contract.Eval())
+	}
+	// Output:
+	// loss=0.01 -> normal
+	// loss=0.10 -> degraded
+	// loss=0.40 -> crisis
+	// loss=0.02 -> normal
+}
+
+// A delegate routes calls through per-region behaviours: the adaptation
+// is woven into the data path, invisible to the caller.
+func ExampleDelegate() {
+	contract := quo.NewContract("filter", time.Second).
+		AddRegion(quo.Region{Name: "drop", When: func(v quo.Values) bool {
+			return v["congested"] > 0
+		}}).
+		AddRegion(quo.Region{Name: "pass"})
+	congested := quo.NewMeasuredCond("congested", 0)
+	contract.AddCondition(congested)
+
+	delegate := quo.NewDelegate[string](contract).
+		Behavior("pass", func(s string) (string, bool) { return s, true }).
+		Behavior("drop", func(s string) (string, bool) { return "", false })
+
+	contract.Eval()
+	if v, ok := delegate.Call("frame-1"); ok {
+		fmt.Println("sent", v)
+	}
+	congested.Set(1)
+	contract.Eval()
+	if _, ok := delegate.Call("frame-2"); !ok {
+		fmt.Println("frame-2 filtered")
+	}
+	// Output:
+	// sent frame-1
+	// frame-2 filtered
+}

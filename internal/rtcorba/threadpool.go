@@ -1,0 +1,150 @@
+package rtcorba
+
+import (
+	"fmt"
+
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+// Work is a unit dispatched onto a pool thread. The thread's native
+// priority has already been set according to the priority model when fn
+// runs.
+type Work struct {
+	// Priority is the CORBA priority governing the dispatch.
+	Priority Priority
+	// Fn is executed on the pool thread.
+	Fn func(t *rtos.Thread)
+}
+
+// LaneConfig configures one priority lane of a thread pool.
+type LaneConfig struct {
+	// Priority is the lane's CORBA priority: the lane serves requests at
+	// or above this priority (up to the next lane), and its threads
+	// idle at the mapped native priority.
+	Priority Priority
+	// Threads is the number of static threads. Must be >= 1.
+	Threads int
+	// QueueLimit bounds buffered requests per lane (an RT-CORBA memory
+	// resource control). 0 means unbounded.
+	QueueLimit int
+}
+
+// ThreadPool is an RT-CORBA thread pool with priority lanes: requests are
+// dispatched to the lane whose priority is the highest not exceeding the
+// request's priority, so high-priority requests never queue behind
+// low-priority ones.
+type ThreadPool struct {
+	host  *rtos.Host
+	mm    *MappingManager
+	lanes []*lane
+}
+
+type lane struct {
+	cfg     LaneConfig
+	native  rtos.Priority
+	queue   *sim.Queue[Work]
+	threads []*rtos.Thread
+	served  int64
+	refused int64
+}
+
+// NewThreadPool creates a pool on host with the given lanes, which must
+// be sorted by ascending priority and non-empty. Threads start
+// immediately and idle at their lane's mapped native priority.
+func NewThreadPool(host *rtos.Host, mm *MappingManager, lanes ...LaneConfig) (*ThreadPool, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("rtcorba: thread pool needs at least one lane")
+	}
+	tp := &ThreadPool{host: host, mm: mm}
+	prev := Priority(-1)
+	for _, cfg := range lanes {
+		if cfg.Priority <= prev {
+			return nil, fmt.Errorf("rtcorba: lanes must have strictly ascending priorities")
+		}
+		prev = cfg.Priority
+		if cfg.Threads < 1 {
+			return nil, fmt.Errorf("rtcorba: lane at priority %d has no threads", cfg.Priority)
+		}
+		native, ok := mm.ToNative(cfg.Priority, host.Priorities())
+		if !ok {
+			return nil, fmt.Errorf("rtcorba: lane priority %d does not map to a native priority", cfg.Priority)
+		}
+		ln := &lane{cfg: cfg, native: native}
+		if cfg.QueueLimit > 0 {
+			ln.queue = sim.NewBoundedQueue[Work](cfg.QueueLimit)
+		} else {
+			ln.queue = sim.NewQueue[Work]()
+		}
+		tp.lanes = append(tp.lanes, ln)
+	}
+	for _, ln := range tp.lanes {
+		ln := ln
+		for i := 0; i < ln.cfg.Threads; i++ {
+			name := fmt.Sprintf("pool-l%d-t%d", ln.cfg.Priority, i)
+			th := host.Spawn(name, ln.native, func(t *rtos.Thread) {
+				tp.laneWorker(ln, t)
+			})
+			ln.threads = append(ln.threads, th)
+		}
+	}
+	return tp, nil
+}
+
+// NewSingleLanePool is the common case: one lane at the given priority.
+func NewSingleLanePool(host *rtos.Host, mm *MappingManager, prio Priority, threads int) (*ThreadPool, error) {
+	return NewThreadPool(host, mm, LaneConfig{Priority: prio, Threads: threads})
+}
+
+func (tp *ThreadPool) laneWorker(ln *lane, t *rtos.Thread) {
+	for {
+		w := ln.queue.Get(t.Proc())
+		// Client-propagated dispatches run at the request's mapped
+		// priority; the mapping manager is consulted per dispatch so a
+		// newly installed custom mapping takes effect immediately.
+		if native, ok := tp.mm.ToNative(w.Priority, tp.host.Priorities()); ok {
+			t.SetPriority(native)
+		} else {
+			t.SetPriority(ln.native)
+		}
+		w.Fn(t)
+		ln.served++
+		t.SetPriority(ln.native)
+	}
+}
+
+// Dispatch queues work onto the lane matching its priority. It reports
+// false if the lane's queue is full (the RT-CORBA TRANSIENT condition).
+func (tp *ThreadPool) Dispatch(w Work) bool {
+	ln := tp.laneFor(w.Priority)
+	if !ln.queue.Put(w) {
+		ln.refused++
+		return false
+	}
+	return true
+}
+
+// laneFor returns the highest lane whose priority does not exceed p, or
+// the lowest lane if p is below every lane.
+func (tp *ThreadPool) laneFor(p Priority) *lane {
+	best := tp.lanes[0]
+	for _, ln := range tp.lanes {
+		if ln.cfg.Priority <= p {
+			best = ln
+		}
+	}
+	return best
+}
+
+// Lanes returns the number of lanes.
+func (tp *ThreadPool) Lanes() int { return len(tp.lanes) }
+
+// Served returns the number of completed dispatches in lane i.
+func (tp *ThreadPool) Served(i int) int64 { return tp.lanes[i].served }
+
+// Refused returns the number of dispatches refused by lane i's bounded
+// queue.
+func (tp *ThreadPool) Refused(i int) int64 { return tp.lanes[i].refused }
+
+// QueueDepth returns the number of requests buffered in lane i.
+func (tp *ThreadPool) QueueDepth(i int) int { return tp.lanes[i].queue.Len() }

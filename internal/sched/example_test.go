@@ -1,0 +1,46 @@
+package sched_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Admission-testing a periodic task set under rate-monotonic scheduling
+// and reading back the priority assignments.
+func ExampleBuild() {
+	schedule, err := sched.Build(sched.RateMonotonic, []sched.Task{
+		{Name: "control", Compute: 2 * time.Millisecond, Period: 10 * time.Millisecond},
+		{Name: "sensing", Compute: 10 * time.Millisecond, Period: 50 * time.Millisecond},
+		{Name: "logging", Compute: 20 * time.Millisecond, Period: 100 * time.Millisecond},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("utilization %.2f, feasible by %s\n", schedule.Utilization, schedule.Evidence)
+	for _, a := range schedule.Assignments {
+		fmt.Printf("rank %d: %s\n", a.Rank, a.Task.Name)
+	}
+	// Output:
+	// utilization 0.60, feasible by Liu-Layland bound: 0.600 <= 0.780
+	// rank 0: control
+	// rank 1: sensing
+	// rank 2: logging
+}
+
+// Shedding non-critical load until the set becomes schedulable — the
+// mediation a QoS manager performs on an over-subscribed node.
+func ExampleDegradeToFit() {
+	_, dropped, err := sched.DegradeToFit(sched.RateMonotonic, []sched.Task{
+		{Name: "control", Compute: 3 * time.Millisecond, Period: 10 * time.Millisecond, Critical: true},
+		{Name: "video", Compute: 40 * time.Millisecond, Period: 100 * time.Millisecond},
+		{Name: "diagnostics", Compute: 50 * time.Millisecond, Period: 100 * time.Millisecond},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("shed:", dropped)
+	// Output:
+	// shed: [diagnostics]
+}

@@ -1,0 +1,283 @@
+// Package sched implements the run-time scheduling service the paper
+// attributes to TAO: it maps application QoS requirements — periodic
+// tasks with compute times, periods and deadlines — onto ORB endsystem
+// resources using static (rate-monotonic) and dynamic (earliest-deadline-
+// first) real-time scheduling strategies, with the corresponding
+// schedulability tests.
+//
+// The static strategy assigns CORBA priorities by rate-monotonic order
+// (shorter period = higher priority) and admission-tests the task set
+// against the Liu–Layland utilisation bound (with an exact response-time
+// analysis as fallback before rejecting). The dynamic strategy checks
+// the EDF utilisation bound. Both produce rtcorba.Priority assignments
+// ready to install via the RT-CORBA Current / thread-pool machinery.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/rtcorba"
+)
+
+// Task is one periodic activity with QoS requirements.
+type Task struct {
+	// Name identifies the task in reports.
+	Name string
+	// Compute is the worst-case execution time per period.
+	Compute time.Duration
+	// Period is the activation period.
+	Period time.Duration
+	// Deadline is the relative deadline; zero means Deadline = Period.
+	Deadline time.Duration
+	// Critical tasks must be admitted; a schedule that cannot include
+	// every critical task fails outright.
+	Critical bool
+}
+
+// deadline returns the effective relative deadline.
+func (t Task) deadline() time.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// Utilization returns Compute/Period.
+func (t Task) Utilization() float64 {
+	return float64(t.Compute) / float64(t.Period)
+}
+
+func (t Task) validate() error {
+	if t.Compute <= 0 || t.Period <= 0 {
+		return fmt.Errorf("sched: task %q needs positive compute and period", t.Name)
+	}
+	if t.Compute > t.deadline() {
+		return fmt.Errorf("sched: task %q compute %v exceeds deadline %v", t.Name, t.Compute, t.deadline())
+	}
+	if t.deadline() > t.Period {
+		return fmt.Errorf("sched: task %q deadline %v beyond period %v (not supported)", t.Name, t.Deadline, t.Period)
+	}
+	return nil
+}
+
+// Assignment is one task's scheduling decision.
+type Assignment struct {
+	Task     Task
+	Priority rtcorba.Priority
+	// Rank is the priority order (0 = most urgent).
+	Rank int
+}
+
+// Schedule is the output of a strategy run.
+type Schedule struct {
+	Strategy    Strategy
+	Assignments []Assignment
+	// Utilization is the admitted task set's total CPU fraction.
+	Utilization float64
+	// Feasible reports whether the schedulability test passed.
+	Feasible bool
+	// Evidence describes which test concluded feasibility.
+	Evidence string
+}
+
+// ByName returns the assignment for a task name.
+func (s *Schedule) ByName(name string) (Assignment, bool) {
+	for _, a := range s.Assignments {
+		if a.Task.Name == name {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}
+
+// Strategy selects the scheduling analysis.
+type Strategy int
+
+const (
+	// RateMonotonic is the static fixed-priority strategy.
+	RateMonotonic Strategy = iota + 1
+	// EarliestDeadlineFirst is the dynamic strategy.
+	EarliestDeadlineFirst
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RateMonotonic:
+		return "RMS"
+	case EarliestDeadlineFirst:
+		return "EDF"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrInfeasible is returned when the task set cannot be scheduled.
+var ErrInfeasible = errors.New("sched: task set not schedulable")
+
+// priorityBandTop and priorityBandBottom bound the CORBA priorities the
+// scheduler hands out, leaving headroom above (ORB I/O, resource
+// managers) and below (best-effort work).
+const (
+	priorityBandTop    rtcorba.Priority = 30000
+	priorityBandBottom rtcorba.Priority = 2000
+)
+
+// Build analyses the task set under the given strategy and, if feasible,
+// assigns CORBA priorities.
+func Build(strategy Strategy, tasks []Task) (*Schedule, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("sched: empty task set")
+	}
+	for _, t := range tasks {
+		if err := t.validate(); err != nil {
+			return nil, err
+		}
+	}
+	u := 0.0
+	for _, t := range tasks {
+		u += t.Utilization()
+	}
+	sch := &Schedule{Strategy: strategy, Utilization: u}
+	switch strategy {
+	case RateMonotonic:
+		buildRMS(sch, tasks)
+	case EarliestDeadlineFirst:
+		buildEDF(sch, tasks)
+	default:
+		return nil, fmt.Errorf("sched: unknown strategy %v", strategy)
+	}
+	if !sch.Feasible {
+		return sch, fmt.Errorf("%w: %s (utilization %.3f)", ErrInfeasible, sch.Evidence, u)
+	}
+	return sch, nil
+}
+
+// buildRMS orders by rate-monotonic priority (deadline-monotonic when
+// deadlines are constrained) and tests schedulability.
+func buildRMS(sch *Schedule, tasks []Task) {
+	ordered := make([]Task, len(tasks))
+	copy(ordered, tasks)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].deadline() < ordered[j].deadline()
+	})
+
+	n := float64(len(ordered))
+	bound := n * (math.Pow(2, 1/n) - 1)
+	switch {
+	case sch.Utilization <= bound:
+		sch.Feasible = true
+		sch.Evidence = fmt.Sprintf("Liu-Layland bound: %.3f <= %.3f", sch.Utilization, bound)
+	case responseTimeAnalysis(ordered):
+		sch.Feasible = true
+		sch.Evidence = "exact response-time analysis"
+	default:
+		sch.Evidence = "response-time analysis found a deadline miss"
+		return
+	}
+
+	span := int(priorityBandTop - priorityBandBottom)
+	for rank, t := range ordered {
+		prio := priorityBandTop
+		if len(ordered) > 1 {
+			prio = priorityBandTop - rtcorba.Priority(rank*span/(len(ordered)-1)/2)
+		}
+		sch.Assignments = append(sch.Assignments, Assignment{Task: t, Priority: prio, Rank: rank})
+	}
+}
+
+// responseTimeAnalysis runs the standard fixed-priority response-time
+// recurrence on tasks ordered most-urgent first.
+func responseTimeAnalysis(ordered []Task) bool {
+	for i, t := range ordered {
+		r := t.Compute
+		for {
+			interference := time.Duration(0)
+			for j := 0; j < i; j++ {
+				hp := ordered[j]
+				activations := int64(math.Ceil(float64(r) / float64(hp.Period)))
+				interference += time.Duration(activations) * hp.Compute
+			}
+			next := t.Compute + interference
+			if next == r {
+				break
+			}
+			r = next
+			if r > t.deadline() {
+				return false
+			}
+		}
+		if r > t.deadline() {
+			return false
+		}
+	}
+	return true
+}
+
+// buildEDF applies the EDF utilisation test (exact for deadline==period;
+// the density bound otherwise) and assigns priorities by deadline order
+// for the benefit of fixed-priority substrates approximating EDF.
+func buildEDF(sch *Schedule, tasks []Task) {
+	density := 0.0
+	for _, t := range tasks {
+		density += float64(t.Compute) / float64(t.deadline())
+	}
+	if density <= 1.0 {
+		sch.Feasible = true
+		sch.Evidence = fmt.Sprintf("EDF density %.3f <= 1", density)
+	} else {
+		sch.Evidence = fmt.Sprintf("EDF density %.3f > 1", density)
+		return
+	}
+	ordered := make([]Task, len(tasks))
+	copy(ordered, tasks)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].deadline() < ordered[j].deadline()
+	})
+	span := int(priorityBandTop - priorityBandBottom)
+	for rank, t := range ordered {
+		prio := priorityBandTop
+		if len(ordered) > 1 {
+			prio = priorityBandTop - rtcorba.Priority(rank*span/(len(ordered)-1)/2)
+		}
+		sch.Assignments = append(sch.Assignments, Assignment{Task: t, Priority: prio, Rank: rank})
+	}
+}
+
+// DegradeToFit drops non-critical tasks (lowest utilisation first, to
+// keep as many as possible) until the set becomes feasible. It returns
+// the schedule and the names of the dropped tasks, or ErrInfeasible if
+// even the critical subset cannot be scheduled — the mediation step a
+// QoS manager performs when applications over-subscribe a node.
+func DegradeToFit(strategy Strategy, tasks []Task) (*Schedule, []string, error) {
+	working := make([]Task, len(tasks))
+	copy(working, tasks)
+	var dropped []string
+	for {
+		sch, err := Build(strategy, working)
+		if err == nil {
+			return sch, dropped, nil
+		}
+		if !errors.Is(err, ErrInfeasible) {
+			return nil, nil, err
+		}
+		// Drop the largest-utilisation non-critical task.
+		idx := -1
+		for i, t := range working {
+			if t.Critical {
+				continue
+			}
+			if idx < 0 || t.Utilization() > working[idx].Utilization() {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil, dropped, fmt.Errorf("%w: critical subset alone is infeasible", ErrInfeasible)
+		}
+		dropped = append(dropped, working[idx].Name)
+		working = append(working[:idx], working[idx+1:]...)
+	}
+}

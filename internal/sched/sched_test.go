@@ -1,0 +1,280 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rtcorba"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestRMSOrdersByPeriod(t *testing.T) {
+	sch, err := Build(RateMonotonic, []Task{
+		{Name: "slow", Compute: ms(10), Period: ms(100)},
+		{Name: "fast", Compute: ms(2), Period: ms(10)},
+		{Name: "mid", Compute: ms(5), Period: ms(50)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch.Feasible {
+		t.Fatal("feasible set reported infeasible")
+	}
+	fast, _ := sch.ByName("fast")
+	mid, _ := sch.ByName("mid")
+	slow, _ := sch.ByName("slow")
+	if !(fast.Priority > mid.Priority && mid.Priority > slow.Priority) {
+		t.Fatalf("RM priority order wrong: fast=%d mid=%d slow=%d",
+			fast.Priority, mid.Priority, slow.Priority)
+	}
+	if fast.Rank != 0 || slow.Rank != 2 {
+		t.Fatalf("ranks: fast=%d slow=%d", fast.Rank, slow.Rank)
+	}
+}
+
+func TestRMSLiuLaylandAccepts(t *testing.T) {
+	// Three tasks at 20% each: u=0.6 < bound(3)=0.7798.
+	sch, err := Build(RateMonotonic, []Task{
+		{Name: "a", Compute: ms(2), Period: ms(10)},
+		{Name: "b", Compute: ms(4), Period: ms(20)},
+		{Name: "c", Compute: ms(8), Period: ms(40)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Evidence == "" || math.Abs(sch.Utilization-0.6) > 1e-9 {
+		t.Fatalf("schedule = %+v", sch)
+	}
+}
+
+func TestRMSResponseTimeRescue(t *testing.T) {
+	// Harmonic periods at u=0.95: above the Liu-Layland bound but
+	// exactly schedulable; response-time analysis must admit it.
+	sch, err := Build(RateMonotonic, []Task{
+		{Name: "a", Compute: ms(5), Period: ms(10)},
+		{Name: "b", Compute: ms(9), Period: ms(20)},
+	})
+	if err != nil {
+		t.Fatalf("harmonic set rejected: %v", err)
+	}
+	if sch.Evidence != "exact response-time analysis" {
+		t.Fatalf("evidence = %q", sch.Evidence)
+	}
+}
+
+func TestRMSRejectsOverload(t *testing.T) {
+	_, err := Build(RateMonotonic, []Task{
+		{Name: "a", Compute: ms(8), Period: ms(10)},
+		{Name: "b", Compute: ms(5), Period: ms(20)},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEDFAcceptsUpToFullUtilization(t *testing.T) {
+	sch, err := Build(EarliestDeadlineFirst, []Task{
+		{Name: "a", Compute: ms(5), Period: ms(10)},
+		{Name: "b", Compute: ms(10), Period: ms(20)},
+	})
+	if err != nil {
+		t.Fatalf("EDF rejected u=1.0: %v", err)
+	}
+	if !sch.Feasible {
+		t.Fatal("not feasible")
+	}
+}
+
+func TestEDFBeatsRMSOnNonHarmonicSet(t *testing.T) {
+	// {5/10, 7/15}: u = 0.967. Response-time analysis rejects it under
+	// fixed priorities (r_b = 17 > 15) but EDF schedules it.
+	tasks := []Task{
+		{Name: "a", Compute: ms(5), Period: ms(10)},
+		{Name: "b", Compute: ms(7), Period: ms(15)},
+	}
+	if _, err := Build(RateMonotonic, tasks); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("RMS err = %v, want infeasible", err)
+	}
+	if _, err := Build(EarliestDeadlineFirst, tasks); err != nil {
+		t.Fatalf("EDF rejected a density<=1 set: %v", err)
+	}
+}
+
+func TestEDFRejectsOverDensity(t *testing.T) {
+	_, err := Build(EarliestDeadlineFirst, []Task{
+		{Name: "a", Compute: ms(6), Period: ms(10)},
+		{Name: "b", Compute: ms(6), Period: ms(10)},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConstrainedDeadlines(t *testing.T) {
+	// Same periods, one task with a tight deadline: it must outrank the
+	// other (deadline-monotonic ordering).
+	sch, err := Build(RateMonotonic, []Task{
+		{Name: "loose", Compute: ms(2), Period: ms(50)},
+		{Name: "tight", Compute: ms(2), Period: ms(50), Deadline: ms(10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, _ := sch.ByName("tight")
+	loose, _ := sch.ByName("loose")
+	if tight.Priority <= loose.Priority {
+		t.Fatalf("deadline-monotonic order violated: tight=%d loose=%d",
+			tight.Priority, loose.Priority)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []Task{
+		{Name: "zero-c", Compute: 0, Period: ms(10)},
+		{Name: "zero-p", Compute: ms(1), Period: 0},
+		{Name: "c>d", Compute: ms(10), Period: ms(20), Deadline: ms(5)},
+		{Name: "d>p", Compute: ms(1), Period: ms(10), Deadline: ms(20)},
+	}
+	for _, task := range cases {
+		if _, err := Build(RateMonotonic, []Task{task}); err == nil {
+			t.Errorf("task %q accepted", task.Name)
+		}
+	}
+	if _, err := Build(RateMonotonic, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestDegradeToFit(t *testing.T) {
+	tasks := []Task{
+		{Name: "control", Compute: ms(2), Period: ms(10), Critical: true},
+		{Name: "video", Compute: ms(30), Period: ms(100), Critical: true},
+		{Name: "telemetry", Compute: ms(30), Period: ms(100)},
+		{Name: "logging", Compute: ms(40), Period: ms(100)},
+	}
+	sch, dropped, err := DegradeToFit(RateMonotonic, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) == 0 {
+		t.Fatal("nothing dropped from an overloaded set")
+	}
+	for _, name := range dropped {
+		if name == "control" || name == "video" {
+			t.Fatalf("critical task %q dropped", name)
+		}
+	}
+	if _, ok := sch.ByName("control"); !ok {
+		t.Fatal("critical task missing from schedule")
+	}
+	// Largest non-critical utilisation goes first.
+	if dropped[0] != "logging" {
+		t.Fatalf("dropped %v, want logging first", dropped)
+	}
+}
+
+func TestDegradeToFitCriticalInfeasible(t *testing.T) {
+	_, _, err := DegradeToFit(RateMonotonic, []Task{
+		{Name: "a", Compute: ms(9), Period: ms(10), Critical: true},
+		{Name: "b", Compute: ms(9), Period: ms(10), Critical: true},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestScheduleRunsOnSimulatedHost closes the loop: an RMS-feasible task
+// set, installed at the assigned priorities on the simulated endsystem,
+// meets every deadline over many hyperperiods.
+func TestScheduleRunsOnSimulatedHost(t *testing.T) {
+	tasks := []Task{
+		{Name: "fast", Compute: ms(2), Period: ms(10)},
+		{Name: "mid", Compute: ms(10), Period: ms(50)},
+		{Name: "slow", Compute: ms(20), Period: ms(100)},
+	}
+	sch, err := Build(RateMonotonic, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	h := rtos.NewHost(k, "h", rtos.HostConfig{})
+	mm := rtcorba.NewMappingManager()
+	misses := 0
+	for _, a := range sch.Assignments {
+		a := a
+		native, ok := mm.ToNative(a.Priority, h.Priorities())
+		if !ok {
+			t.Fatalf("priority %d does not map", a.Priority)
+		}
+		h.Spawn(a.Task.Name, native, func(th *rtos.Thread) {
+			next := th.Now()
+			for i := 0; i < 50; i++ {
+				start := th.Now()
+				th.Compute(a.Task.Compute)
+				if th.Now()-start > a.Task.deadline() {
+					misses++
+				}
+				next += a.Task.Period
+				if sleep := next - th.Now(); sleep > 0 {
+					th.Sleep(sleep)
+				}
+			}
+		})
+	}
+	k.Run()
+	if misses != 0 {
+		t.Fatalf("%d deadline misses in an RMS-feasible schedule", misses)
+	}
+}
+
+// Property: Build never admits a set whose utilisation exceeds 1, and
+// never rejects a set that fits under the Liu-Layland bound.
+func TestPropertyAdmissionBounds(t *testing.T) {
+	prop := func(cs, ps []uint8) bool {
+		n := len(cs)
+		if len(ps) < n {
+			n = len(ps)
+		}
+		if n == 0 || n > 6 {
+			return true
+		}
+		tasks := make([]Task, 0, n)
+		for i := 0; i < n; i++ {
+			period := ms(int(ps[i]%50)*2 + 10)
+			compute := time.Duration(int64(period) * int64(cs[i]%100+1) / 300) // <=33% each
+			if compute <= 0 {
+				compute = time.Millisecond
+			}
+			tasks = append(tasks, Task{
+				Name:    string(rune('a' + i)),
+				Compute: compute,
+				Period:  period,
+			})
+		}
+		u := 0.0
+		for _, task := range tasks {
+			u += task.Utilization()
+		}
+		sch, err := Build(RateMonotonic, tasks)
+		nf := float64(n)
+		bound := nf * (powF(2, 1/nf) - 1)
+		if u <= bound && err != nil {
+			return false // under the bound must be admitted
+		}
+		if err == nil && sch.Utilization > 1.0 {
+			return false // over unit utilisation can never be feasible
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func powF(base, exp float64) float64 { return math.Pow(base, exp) }

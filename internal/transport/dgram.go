@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// DgramConn is an unreliable message socket. Messages larger than one MTU
+// are fragmented; the receiver reassembles and delivers a message only if
+// every fragment arrives, so one dropped packet loses the whole message —
+// the behaviour that makes multi-packet video frames fragile under
+// congestion.
+type DgramConn struct {
+	ep    *Endpoint
+	port  uint16
+	dscp  netsim.DSCP
+	flow  netsim.FlowID
+	msgID uint64
+
+	recvQ  *sim.Queue[*Message]
+	reasm  map[reasmKey]*reasmBuf
+	closed bool
+
+	// ReassemblyTimeout discards partial messages whose last fragment
+	// has not arrived in time.
+	ReassemblyTimeout time.Duration
+
+	// Stats
+	sentMsgs, recvMsgs, lostMsgs int64
+}
+
+type reasmKey struct {
+	from  netsim.Addr
+	msgID uint64
+}
+
+type reasmBuf struct {
+	frags    int
+	expected int
+	msg      *Message
+	deadline sim.Time
+}
+
+type fragment struct {
+	msgID   uint64
+	idx     int
+	count   int
+	payload *Message
+}
+
+// OpenDgram binds a datagram socket on port. The flow id labels all
+// traffic sent from this socket; pass 0 to allocate a fresh one.
+func (e *Endpoint) OpenDgram(port uint16, flow netsim.FlowID) *DgramConn {
+	if flow == 0 {
+		flow = e.net.NewFlowID()
+	}
+	c := &DgramConn{
+		ep:                e,
+		port:              port,
+		flow:              flow,
+		recvQ:             sim.NewQueue[*Message](),
+		reasm:             make(map[reasmKey]*reasmBuf),
+		ReassemblyTimeout: time.Second,
+	}
+	e.node.Bind(port, c.onPacket)
+	return c
+}
+
+// Flow returns the socket's send flow id.
+func (c *DgramConn) Flow() netsim.FlowID { return c.flow }
+
+// LocalAddr returns the bound address.
+func (c *DgramConn) LocalAddr() netsim.Addr { return c.ep.Addr(c.port) }
+
+// SetDSCP sets the DiffServ codepoint applied to outgoing packets. This
+// is the knob the RT-CORBA protocol properties and the QuO contracts
+// adjust to mark a stream for expedited forwarding.
+func (c *DgramConn) SetDSCP(d netsim.DSCP) { c.dscp = d }
+
+// DSCP returns the current outgoing codepoint.
+func (c *DgramConn) DSCP() netsim.DSCP { return c.dscp }
+
+// Close unbinds the socket.
+func (c *DgramConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.ep.node.Unbind(c.port)
+}
+
+// Send transmits a message to dst, fragmenting as needed.
+func (c *DgramConn) Send(dst netsim.Addr, m *Message) {
+	if c.closed {
+		return
+	}
+	c.msgID++
+	c.sentMsgs++
+	size := m.WireSize()
+	count := (size + maxPayload - 1) / maxPayload
+	if count == 0 {
+		count = 1
+	}
+	for i := 0; i < count; i++ {
+		chunk := maxPayload
+		if i == count-1 {
+			chunk = size - maxPayload*(count-1)
+		}
+		c.ep.node.Send(&netsim.Packet{
+			Src:     c.LocalAddr(),
+			Dst:     dst,
+			Size:    chunk + headerBytes,
+			DSCP:    c.dscp,
+			Flow:    c.flow,
+			Payload: &fragment{msgID: c.msgID, idx: i, count: count, payload: m},
+		})
+	}
+}
+
+// Recv blocks the calling process until a complete message arrives.
+func (c *DgramConn) Recv(p *sim.Proc) *Message {
+	return c.recvQ.Get(p)
+}
+
+// RecvTimeout blocks for at most d.
+func (c *DgramConn) RecvTimeout(p *sim.Proc, d time.Duration) (*Message, bool) {
+	return c.recvQ.GetTimeout(p, d)
+}
+
+// Pending reports complete messages waiting to be received.
+func (c *DgramConn) Pending() int { return c.recvQ.Len() }
+
+// SentMessages returns the number of messages sent.
+func (c *DgramConn) SentMessages() int64 { return c.sentMsgs }
+
+// ReceivedMessages returns the number of complete messages delivered.
+func (c *DgramConn) ReceivedMessages() int64 { return c.recvMsgs }
+
+// LostMessages returns messages discarded due to missing fragments.
+func (c *DgramConn) LostMessages() int64 { return c.lostMsgs }
+
+func (c *DgramConn) onPacket(p *netsim.Packet) {
+	frag, ok := p.Payload.(*fragment)
+	if !ok {
+		return
+	}
+	now := c.ep.Kernel().Now()
+	c.expireReassembly(now)
+	if frag.count == 1 {
+		c.deliver(p.Src, frag.payload)
+		return
+	}
+	key := reasmKey{from: p.Src, msgID: frag.msgID}
+	buf, ok := c.reasm[key]
+	if !ok {
+		buf = &reasmBuf{expected: frag.count, msg: frag.payload}
+		c.reasm[key] = buf
+	}
+	buf.frags++
+	buf.deadline = now + c.ReassemblyTimeout
+	if buf.frags >= buf.expected {
+		delete(c.reasm, key)
+		c.deliver(p.Src, buf.msg)
+	}
+}
+
+func (c *DgramConn) deliver(from netsim.Addr, m *Message) {
+	out := *m
+	out.From = from
+	c.recvMsgs++
+	c.recvQ.Put(&out)
+}
+
+func (c *DgramConn) expireReassembly(now sim.Time) {
+	for key, buf := range c.reasm {
+		if now > buf.deadline {
+			delete(c.reasm, key)
+			c.lostMsgs++
+		}
+	}
+}

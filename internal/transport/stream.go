@@ -1,0 +1,368 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Stream transport constants.
+const (
+	// streamWindow is the go-back-N send window in segments.
+	streamWindow = 32
+	// initialRTO is the first retransmission timeout.
+	initialRTO = 100 * time.Millisecond
+	// maxRTO caps exponential backoff.
+	maxRTO = 2 * time.Second
+	// ackSize is the wire size of a pure acknowledgment.
+	ackSize = headerBytes
+)
+
+// segment is the stream protocol PDU carried as a packet payload.
+type segment struct {
+	seq   uint64 // sequence number of this data segment
+	ack   uint64 // cumulative ack: next expected sequence
+	isAck bool
+	last  bool // final segment of its message
+	msg   *Message
+	size  int // payload bytes this segment represents
+}
+
+// StreamConn is a reliable, in-order message channel over the simulated
+// network, with go-back-N retransmission and exponential RTO backoff.
+// Under congestion messages are never lost — they are late, which is how
+// GIOP-over-TCP behaves in the paper's testbed.
+type StreamConn struct {
+	ep     *Endpoint
+	port   uint16
+	remote netsim.Addr
+	dscp   netsim.DSCP
+	flow   netsim.FlowID
+	owner  *Listener // nil on the dialing side
+	closed bool
+
+	// Sender state.
+	nextSeq     uint64
+	base        uint64
+	outstanding []*segment
+	backlog     []*segment // segments waiting for window space
+	buffered    int        // bytes in outstanding + backlog
+	bufferLimit int        // send-buffer bound for SendWait
+	space       *sim.Signal
+	rto         time.Duration
+	rtoTimer    *sim.Event
+	retransmits int64
+	dupAcks     int
+
+	// Receiver state.
+	expected uint64
+	recvBuf  map[uint64]*segment // out-of-order segments awaiting the gap fill
+	recvQ    *sim.Queue[*Message]
+}
+
+// recvBufLimit bounds the out-of-order reassembly buffer (segments).
+const recvBufLimit = 256
+
+// Listener accepts incoming stream connections on a port.
+type Listener struct {
+	ep      *Endpoint
+	port    uint16
+	conns   map[netsim.Addr]*StreamConn
+	accept  *sim.Queue[*StreamConn]
+	closed  bool
+	backlog int
+}
+
+// Listen binds a stream listener on port.
+func (e *Endpoint) Listen(port uint16) *Listener {
+	l := &Listener{
+		ep:     e,
+		port:   port,
+		conns:  make(map[netsim.Addr]*StreamConn),
+		accept: sim.NewQueue[*StreamConn](),
+	}
+	e.node.Bind(port, l.onPacket)
+	return l
+}
+
+// Accept blocks until a new connection arrives.
+func (l *Listener) Accept(p *sim.Proc) *StreamConn {
+	return l.accept.Get(p)
+}
+
+// Close unbinds the listener. Established connections keep working.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.ep.node.Unbind(l.port)
+}
+
+func (l *Listener) onPacket(p *netsim.Packet) {
+	seg, ok := p.Payload.(*segment)
+	if !ok {
+		return
+	}
+	c, ok := l.conns[p.Src]
+	if !ok {
+		c = newStreamConn(l.ep, l.port, p.Src, l)
+		l.conns[p.Src] = c
+		l.accept.Put(c)
+	}
+	c.onSegment(seg)
+}
+
+// Dial opens a stream connection from localPort to remote. The connection
+// is usable immediately; the peer materialises it on first contact.
+func (e *Endpoint) Dial(localPort uint16, remote netsim.Addr) *StreamConn {
+	c := newStreamConn(e, localPort, remote, nil)
+	e.node.Bind(localPort, func(p *netsim.Packet) {
+		if seg, ok := p.Payload.(*segment); ok && p.Src == remote {
+			c.onSegment(seg)
+		}
+	})
+	return c
+}
+
+func newStreamConn(e *Endpoint, port uint16, remote netsim.Addr, owner *Listener) *StreamConn {
+	return &StreamConn{
+		ep:          e,
+		port:        port,
+		remote:      remote,
+		owner:       owner,
+		flow:        e.net.NewFlowID(),
+		rto:         initialRTO,
+		recvBuf:     make(map[uint64]*segment),
+		recvQ:       sim.NewQueue[*Message](),
+		bufferLimit: 64 * 1024,
+		space:       sim.NewSignal(),
+	}
+}
+
+// RemoteAddr returns the peer address.
+func (c *StreamConn) RemoteAddr() netsim.Addr { return c.remote }
+
+// LocalAddr returns the local address.
+func (c *StreamConn) LocalAddr() netsim.Addr { return c.ep.Addr(c.port) }
+
+// Flow returns the connection's outgoing flow id.
+func (c *StreamConn) Flow() netsim.FlowID { return c.flow }
+
+// SetDSCP marks outgoing packets (data and acks) with d. This implements
+// the TAO extension that lets RT-CORBA protocol properties set the
+// DiffServ codepoint on GIOP traffic.
+func (c *StreamConn) SetDSCP(d netsim.DSCP) { c.dscp = d }
+
+// DSCP returns the current outgoing codepoint.
+func (c *StreamConn) DSCP() netsim.DSCP { return c.dscp }
+
+// Retransmits returns the number of go-back-N retransmissions performed.
+func (c *StreamConn) Retransmits() int64 { return c.retransmits }
+
+// Close tears the connection down locally: timers stop and, on the
+// dialing side, the port is released. In-flight data is abandoned.
+func (c *StreamConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+	c.space.Broadcast()
+	if c.owner == nil {
+		c.ep.node.Unbind(c.port)
+	} else {
+		delete(c.owner.conns, c.remote)
+	}
+}
+
+// Send queues a message for reliable delivery and returns immediately;
+// transmission and retransmission proceed in virtual time. Send never
+// blocks: use SendWait from application threads that should experience
+// socket-buffer backpressure.
+func (c *StreamConn) Send(m *Message) {
+	if c.closed {
+		return
+	}
+	size := m.WireSize()
+	count := (size + maxPayload - 1) / maxPayload
+	if count == 0 {
+		count = 1
+	}
+	for i := 0; i < count; i++ {
+		chunk := maxPayload
+		if i == count-1 {
+			chunk = size - maxPayload*(count-1)
+		}
+		seg := &segment{
+			seq:  c.nextSeq,
+			last: i == count-1,
+			msg:  m,
+			size: chunk,
+		}
+		c.nextSeq++
+		c.buffered += chunk
+		c.backlog = append(c.backlog, seg)
+	}
+	c.pump()
+}
+
+// SendWait behaves like a blocking socket write: when the send buffer
+// (unacknowledged plus queued bytes) is full, the calling process blocks
+// until acknowledgments free space. This bounds latency under congestion
+// the way kernel socket buffers do — senders are paced, not allowed to
+// queue unboundedly.
+func (c *StreamConn) SendWait(p *sim.Proc, m *Message) {
+	for !c.closed && c.buffered >= c.bufferLimit {
+		c.space.Wait(p)
+	}
+	c.Send(m)
+}
+
+// SetSendBuffer adjusts the SendWait backpressure bound in bytes.
+func (c *StreamConn) SetSendBuffer(bytes int) {
+	if bytes <= 0 {
+		panic("transport: send buffer must be positive")
+	}
+	c.bufferLimit = bytes
+}
+
+// Buffered reports bytes held for (re)transmission.
+func (c *StreamConn) Buffered() int { return c.buffered }
+
+// Recv blocks until the next in-order message is delivered.
+func (c *StreamConn) Recv(p *sim.Proc) *Message {
+	return c.recvQ.Get(p)
+}
+
+// RecvTimeout blocks for at most d.
+func (c *StreamConn) RecvTimeout(p *sim.Proc, d time.Duration) (*Message, bool) {
+	return c.recvQ.GetTimeout(p, d)
+}
+
+// pump moves backlog segments into the window and transmits them.
+func (c *StreamConn) pump() {
+	for len(c.backlog) > 0 && len(c.outstanding) < streamWindow {
+		seg := c.backlog[0]
+		c.backlog = c.backlog[1:]
+		c.outstanding = append(c.outstanding, seg)
+		c.transmit(seg)
+	}
+	c.armTimer()
+}
+
+func (c *StreamConn) transmit(seg *segment) {
+	seg.ack = c.expected
+	c.ep.node.Send(&netsim.Packet{
+		Src:     c.LocalAddr(),
+		Dst:     c.remote,
+		Size:    seg.size + headerBytes,
+		DSCP:    c.dscp,
+		Flow:    c.flow,
+		Payload: seg,
+	})
+}
+
+func (c *StreamConn) sendAck() {
+	c.ep.node.Send(&netsim.Packet{
+		Src:     c.LocalAddr(),
+		Dst:     c.remote,
+		Size:    ackSize,
+		DSCP:    c.dscp,
+		Flow:    c.flow,
+		Payload: &segment{isAck: true, ack: c.expected},
+	})
+}
+
+func (c *StreamConn) armTimer() {
+	if c.rtoTimer != nil || len(c.outstanding) == 0 || c.closed {
+		return
+	}
+	c.rtoTimer = c.ep.Kernel().After(c.rto, c.onTimeout)
+}
+
+func (c *StreamConn) onTimeout() {
+	c.rtoTimer = nil
+	if c.closed || len(c.outstanding) == 0 {
+		return
+	}
+	// Retransmit only the window head: the receiver buffers
+	// out-of-order segments, so filling the gap releases everything
+	// behind it (selective-repeat behaviour, as SACK-era TCP achieves).
+	c.retransmits++
+	c.transmit(c.outstanding[0])
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	c.armTimer()
+}
+
+func (c *StreamConn) onSegment(seg *segment) {
+	if c.closed {
+		return
+	}
+	// Process the (possibly piggybacked) acknowledgment.
+	switch {
+	case seg.ack > c.base:
+		c.base = seg.ack
+		c.dupAcks = 0
+		for len(c.outstanding) > 0 && c.outstanding[0].seq < c.base {
+			c.buffered -= c.outstanding[0].size
+			c.outstanding = c.outstanding[1:]
+		}
+		c.rto = initialRTO
+		if c.rtoTimer != nil {
+			c.rtoTimer.Cancel()
+			c.rtoTimer = nil
+		}
+		c.pump()
+		c.space.Broadcast()
+	case seg.ack == c.base && len(c.outstanding) > 0:
+		// Duplicate cumulative ack: the receiver is seeing out-of-order
+		// segments, so the head of the window was lost. After three
+		// duplicates, fast-retransmit it without waiting for the RTO.
+		c.dupAcks++
+		if c.dupAcks >= 3 {
+			c.dupAcks = 0
+			c.retransmits++
+			c.transmit(c.outstanding[0])
+		}
+	}
+	if seg.isAck {
+		return
+	}
+	// In-order data advances the receive window, draining any buffered
+	// out-of-order successors; data beyond the expected sequence is
+	// buffered for later (selective repeat).
+	switch {
+	case seg.seq == c.expected:
+		c.deliverSegment(seg)
+		for {
+			next, ok := c.recvBuf[c.expected]
+			if !ok {
+				break
+			}
+			delete(c.recvBuf, c.expected)
+			c.deliverSegment(next)
+		}
+	case seg.seq > c.expected && len(c.recvBuf) < recvBufLimit:
+		c.recvBuf[seg.seq] = seg
+	}
+	c.sendAck()
+}
+
+// deliverSegment consumes one in-order segment, surfacing its message
+// when the final segment arrives.
+func (c *StreamConn) deliverSegment(seg *segment) {
+	c.expected++
+	if seg.last {
+		out := *seg.msg
+		out.From = c.remote
+		c.recvQ.Put(&out)
+	}
+}
