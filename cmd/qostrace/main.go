@@ -1,0 +1,302 @@
+// Command qostrace demonstrates the end-to-end invocation tracing and
+// telemetry built into the middleware stack: it runs a deterministic
+// scenario with tracing enabled on every layer, then prints the span
+// tree of a representative trace, the per-layer critical-path breakdown
+// of its end-to-end latency (the shares sum exactly to the observed
+// RTT), and the RED-metric telemetry tables.
+//
+// Usage:
+//
+//	qostrace [-scenario prio|video|all] [-calls N] [-frames N]
+//	         [-jsonl FILE] [-seed N]
+//
+// The prio scenario is the paper's Figure 2 three-host priority
+// propagation path (client -> middle -> server, nested invocation); the
+// video scenario is a Figure 3 pipeline (sender -> distributor -> two
+// receivers with different QoS) with a QuO contract watching delivery.
+// Both are deterministic: repeated runs produce byte-identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/avstreams"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/orb"
+	"repro/internal/quo"
+	"repro/internal/rtcorba"
+	"repro/internal/rtos"
+	"repro/internal/trace"
+	"repro/internal/trace/telemetry"
+	"repro/internal/video"
+)
+
+func main() {
+	scenario := flag.String("scenario", "prio", "scenario to trace: prio, video, all")
+	calls := flag.Int("calls", 5, "invocations to issue in the prio scenario")
+	frames := flag.Int("frames", 12, "frames to stream in the video scenario")
+	jsonl := flag.String("jsonl", "", "write every span as JSON lines to this file")
+	seed := flag.Int64("seed", 3, "simulation seed")
+	flag.Parse()
+
+	var sink *trace.JSONL
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qostrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = trace.NewJSONL(f)
+	}
+
+	ran := 0
+	if *scenario == "prio" || *scenario == "all" {
+		runPrio(*seed, *calls, sink)
+		ran++
+	}
+	if *scenario == "video" || *scenario == "all" {
+		if ran > 0 {
+			fmt.Println()
+		}
+		runVideo(*seed, *frames, sink)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "qostrace: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if sink != nil && sink.Err() != nil {
+		fmt.Fprintln(os.Stderr, "qostrace: jsonl export:", sink.Err())
+		os.Exit(1)
+	}
+}
+
+// runPrio traces the Figure 2 priority-propagation path: a client on
+// QNX invokes a middle tier on LynxOS which invokes a back end on
+// Solaris, all at CORBA priority 100 over DiffServ EF.
+func runPrio(seed int64, calls int, sink *trace.JSONL) {
+	sys := core.NewSystem(seed)
+	client := sys.AddMachine("client", rtos.HostConfig{Priorities: rtos.RangeQNX})
+	middle := sys.AddMachine("middle", rtos.HostConfig{Priorities: rtos.RangeLynxOS})
+	server := sys.AddMachine("server", rtos.HostConfig{Priorities: rtos.RangeSolaris})
+	sys.AddRouter("router")
+	link := core.LinkSpec{Bps: 100e6, Delay: 200 * time.Microsecond, Profile: core.ProfileDiffServ}
+	sys.Link("client", "router", link)
+	sys.Link("middle", "router", link)
+	sys.Link("server", "router", link)
+
+	tr := trace.NewTracer(sys.K)
+	if sink != nil {
+		tr.AddSink(sink)
+	}
+	sys.Net.SetTracer(tr)
+	reg := telemetry.NewRegistry()
+
+	ef := rtcorba.BandedDSCPMapping{Bands: []rtcorba.DSCPBand{{From: 0, DSCP: netsim.DSCPEF}}}
+	cliORB := client.ORB(orb.Config{NetMapping: ef})
+	midORB := middle.ORB(orb.Config{NetMapping: ef})
+	srvORB := server.ORB(orb.Config{})
+	for _, o := range []*orb.ORB{cliORB, midORB, srvORB} {
+		o.EnableTracing(tr)
+	}
+	cliORB.AddClientInterceptor(&orb.TelemetryProbe{Reg: reg})
+	midORB.AddClientInterceptor(&orb.TelemetryProbe{Reg: reg})
+
+	cliORB.MappingManager().Install(rtcorba.StepMapping{Steps: []rtcorba.Step{{From: 0, Native: 16}}})
+	midORB.MappingManager().Install(rtcorba.StepMapping{Steps: []rtcorba.Step{{From: 0, Native: 128}}})
+	srvORB.MappingManager().Install(rtcorba.StepMapping{Steps: []rtcorba.Step{{From: 0, Native: 136}}})
+
+	srvPOA, err := srvORB.CreatePOA("app", orb.POAConfig{Model: rtcorba.ClientPropagated})
+	check(err)
+	srvRef, err := srvPOA.Activate("backend", orb.ServantFunc(func(req *orb.ServerRequest) ([]byte, error) {
+		req.Thread.Compute(300 * time.Microsecond) // image-processing stand-in
+		return make([]byte, 1024), nil
+	}))
+	check(err)
+
+	midPOA, err := midORB.CreatePOA("app", orb.POAConfig{Model: rtcorba.ClientPropagated})
+	check(err)
+	midRef, err := midPOA.Activate("relay", orb.ServantFunc(func(req *orb.ServerRequest) ([]byte, error) {
+		req.Thread.Compute(100 * time.Microsecond)
+		return midORB.InvokeOpt(req.Thread, srvRef, "work", req.Body,
+			orb.InvokeOptions{Priority: req.Priority})
+	}))
+	check(err)
+
+	client.Host.Spawn("client", 1, func(t *rtos.Thread) {
+		check(cliORB.Current(t).SetPriority(100))
+		body := make([]byte, 512)
+		for i := 0; i < calls; i++ {
+			if _, err := cliORB.Invoke(t, midRef, "work", body); err != nil {
+				panic(err)
+			}
+			t.Sleep(10 * time.Millisecond)
+		}
+	})
+	sys.RunUntil(time.Second)
+	tr.FlushOpen()
+
+	col := tr.Collector()
+	ids := col.TraceIDs()
+	fmt.Printf("== scenario prio: client -> middle -> server at CORBA priority 100 (%d invocations, %d traces, %d spans) ==\n\n",
+		calls, len(ids), col.Len())
+	if len(ids) == 0 {
+		return
+	}
+	// The last trace shows the steady state: connections on both hops
+	// are warm, so no setup cost pollutes the exemplar.
+	exemplar := ids[len(ids)-1]
+	fmt.Print(col.RenderTree(exemplar))
+	fmt.Println()
+	printBreakdown(col, exemplar)
+	fmt.Println()
+	fmt.Print(reg.Render())
+}
+
+// runVideo traces one Figure 3 pipeline: a sender streams MPEG frames
+// to a distributor that relays every frame to a display receiver at
+// full rate and to an ATR receiver thinned to I-frames only, while a
+// QuO contract watches delivered rate.
+func runVideo(seed int64, frames int, sink *trace.JSONL) {
+	sys := core.NewSystem(seed)
+	uav := sys.AddMachine("uav", rtos.HostConfig{Hz: 750e6})
+	dist := sys.AddMachine("distributor", rtos.HostConfig{Hz: 1e9})
+	station := sys.AddMachine("station", rtos.HostConfig{Hz: 1e9})
+	atr := sys.AddMachine("atr", rtos.HostConfig{Hz: 1e9})
+	sys.Link("uav", "distributor", core.LinkSpec{Bps: 20e6, Delay: 5 * time.Millisecond})
+	sys.Link("distributor", "station", core.LinkSpec{Bps: 10e6, Delay: time.Millisecond})
+	sys.Link("distributor", "atr", core.LinkSpec{Bps: 2e6, Delay: 2 * time.Millisecond})
+
+	tr := trace.NewTracer(sys.K)
+	if sink != nil {
+		tr.AddSink(sink)
+	}
+	sys.Net.SetTracer(tr)
+	reg := telemetry.NewRegistry()
+	for _, m := range []*core.Machine{uav, dist, station, atr} {
+		m.AV().SetTracer(tr)
+	}
+
+	stationRecv := station.AV().CreateReceiver(5000, 50, nil)
+	atrRecv := atr.AV().CreateReceiver(5000, 50, nil)
+
+	d := dist.AV().NewDistributor(5001, 60)
+	dist.Host.Spawn("binder", 60, func(t *rtos.Thread) {
+		st, err := d.AddBranch(t.Proc(), 5002, stationRecv.Addr(), avstreams.QoS{DSCP: netsim.DSCPEF})
+		check(err)
+		_ = st
+		atrSt, err := d.AddBranch(t.Proc(), 5003, atrRecv.Addr(), avstreams.QoS{})
+		check(err)
+		atrSt.SetFilter(video.FilterIOnly)
+	})
+
+	// A QuO contract watches the station's delivered rate; its span
+	// records every evaluation so the trace shows the adaptive layer
+	// working alongside the data path.
+	var lastCount int64
+	fps := quo.NewFuncCond("station-fps", func() float64 {
+		got := stationRecv.Stats.ReceivedTotal
+		rate := float64(got-lastCount) * 10 // 100ms window
+		lastCount = got
+		return rate
+	})
+	contract := quo.NewContract("video-quality", 100*time.Millisecond).
+		AddCondition(fps).
+		AddRegion(quo.Region{Name: "normal", When: func(v quo.Values) bool { return v["station-fps"] >= 15 }}).
+		AddRegion(quo.Region{Name: "degraded"}).
+		AttachTracer(tr).
+		Instrument(reg)
+
+	sender := uav.AV().CreateSender(5004)
+	dur := time.Duration(frames) * video.StreamConfig{}.FrameInterval()
+	uav.Host.Spawn("camera", 40, func(t *rtos.Thread) {
+		st, err := sender.Bind(t.Proc(), d.InAddr(), avstreams.QoS{DSCP: netsim.DSCPEF})
+		check(err)
+		contract.Start(sys.K)
+		st.RunSource(t, video.NewGenerator(video.StreamConfig{}), dur)
+	})
+	sys.RunUntil(dur + 500*time.Millisecond)
+	contract.Stop()
+	tr.FlushOpen()
+
+	col := tr.Collector()
+	ids := col.TraceIDs()
+	fmt.Printf("== scenario video: uav -> distributor -> {station, atr} (%d frames sent, %d traces, %d spans) ==\n\n",
+		frames, len(ids), col.Len())
+
+	// Exemplar: the first frame trace (the contract owns its own trace).
+	var frameTrace, contractTrace trace.TraceID
+	for _, id := range ids {
+		root := col.Root(id)
+		if root == nil {
+			continue
+		}
+		if frameTrace == 0 && strings.HasPrefix(root.Name, "frame") {
+			frameTrace = id
+		}
+		if contractTrace == 0 && strings.HasPrefix(root.Name, "contract") {
+			contractTrace = id
+		}
+	}
+	if frameTrace != 0 {
+		fmt.Print(col.RenderTree(frameTrace))
+		seen := make(map[string]bool)
+		var layers []string
+		for _, s := range col.Trace(frameTrace) {
+			if !seen[s.Layer] {
+				seen[s.Layer] = true
+				layers = append(layers, s.Layer)
+			}
+		}
+		sort.Strings(layers)
+		fmt.Printf("\none trace ID spans sender -> distributor -> receivers: %d spans across layers %s\n",
+			len(col.Trace(frameTrace)), strings.Join(layers, ", "))
+		fmt.Println()
+		printBreakdown(col, frameTrace)
+	}
+	if contractTrace != 0 {
+		fmt.Println()
+		fmt.Print(col.RenderTree(contractTrace))
+	}
+	fmt.Println()
+	fmt.Print(reg.Render())
+}
+
+// printBreakdown renders the critical-path per-layer decomposition of
+// one trace and verifies the shares sum to the end-to-end latency.
+func printBreakdown(col *trace.Collector, id trace.TraceID) {
+	shares, total := col.Breakdown(id)
+	if total == 0 {
+		fmt.Printf("trace %d: root span still open, no breakdown\n", id)
+		return
+	}
+	tb := metrics.NewTable(fmt.Sprintf("Critical-path latency breakdown (trace %d)", id),
+		"Layer", "Time", "Share")
+	var sum time.Duration
+	for _, sh := range shares {
+		sum += sh.Time
+		tb.AddRow(sh.Layer, sh.Time.String(),
+			fmt.Sprintf("%.1f%%", 100*sh.Time.Seconds()/total.Seconds()))
+	}
+	fmt.Print(tb.Render())
+	delta := 100 * (sum - total).Seconds() / total.Seconds()
+	if delta < 0 {
+		delta = -delta
+	}
+	fmt.Printf("layer sum = %v, end-to-end = %v, delta = %.3f%% (within 1%%: %v)\n",
+		sum, total, delta, delta <= 1.0)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rtos"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/video"
 )
@@ -25,6 +26,10 @@ import (
 type framePacket struct {
 	frame  video.Frame
 	sentAt sim.Time
+	// ctx is the frame's trace span: opened by the sender, closed by
+	// the receiving endpoint (or left open — flagged unfinished — when
+	// the frame is lost in the network).
+	ctx trace.SpanContext
 }
 
 // QoS describes the network QoS requested at bind time.
@@ -55,7 +60,15 @@ type Service struct {
 	SendCostPerKB time.Duration
 	RecvCostFixed time.Duration
 	RecvCostPerKB time.Duration
+
+	tracer *trace.Tracer
 }
+
+// SetTracer enables per-frame tracing on streams sent and received by
+// this service instance. With the network's tracer set to the same
+// tracer, each frame's trace shows the full path sender → (distributor
+// →) receiver under one trace ID, per-hop transit included.
+func (s *Service) SetTracer(tr *trace.Tracer) { s.tracer = tr }
 
 // NewService creates the service for host attached to node.
 func NewService(host *rtos.Host, net *netsim.Network, node *netsim.Node) *Service {
@@ -93,6 +106,10 @@ type Receiver struct {
 	arrived []sim.Time
 	handler FrameHandler
 	prio    rtos.Priority
+	// ctxHandler, when set, is called instead of handler with the
+	// frame's trace context so in-process relays (the distributor) can
+	// chain their downstream spans onto the inbound trace.
+	ctxHandler func(f video.Frame, sentAt, recvAt sim.Time, ctx trace.SpanContext)
 }
 
 // ArrivalTimes returns the arrival time of each received frame, aligned
@@ -152,12 +169,26 @@ func (r *Receiver) loop(t *rtos.Thread) {
 		if !ok {
 			continue
 		}
+		tr := r.svc.tracer
+		var rspan *trace.Span
+		if tr != nil && fp.ctx.Valid() {
+			rspan = tr.StartChild(fp.ctx, "frame.recv", trace.LayerAVStreams)
+		}
 		t.Compute(r.svc.frameCost(r.svc.RecvCostFixed, r.svc.RecvCostPerKB, fp.frame.Size))
 		now := t.Now()
+		if rspan != nil {
+			rspan.Finish()
+		}
 		r.Stats.RecordReceived(fp.frame, now)
 		r.Latency = append(r.Latency, time.Duration(now-fp.sentAt))
 		r.arrived = append(r.arrived, now)
-		if r.handler != nil {
+		if tr != nil && fp.ctx.Valid() {
+			// Delivery closes the span the sender opened for this frame.
+			tr.Finish(fp.ctx)
+		}
+		if r.ctxHandler != nil {
+			r.ctxHandler(fp.frame, fp.sentAt, now, fp.ctx)
+		} else if r.handler != nil {
 			r.handler(fp.frame, fp.sentAt, now)
 		}
 	}
@@ -249,18 +280,48 @@ func (st *Stream) SetDSCP(d netsim.DSCP) { st.sender.conn.SetDSCP(d) }
 // if the frame was suppressed by the current filter level. Sending
 // consumes CPU on the sender.
 func (st *Stream) SendFrame(t *rtos.Thread, f video.Frame) bool {
+	return st.sendFrame(t, f, trace.SpanContext{})
+}
+
+// sendFrame is SendFrame with an optional parent trace context: a valid
+// parent (the distributor's inbound frame span) makes this leg a branch
+// of the same trace instead of a fresh root.
+func (st *Stream) sendFrame(t *rtos.Thread, f video.Frame, parent trace.SpanContext) bool {
+	svc := st.sender.svc
 	if !st.filter.Admits(f.Type) {
 		st.FilteredFrames++
+		if svc.tracer != nil && parent.Valid() {
+			// Make QuO filtering visible in the end-to-end trace as a
+			// zero-length span on the branch.
+			sp := svc.tracer.StartChild(parent, "frame.filtered", trace.LayerAVStreams)
+			sp.SetAttr(trace.String("type", f.Type.String()))
+			sp.Finish()
+		}
 		return false
 	}
-	svc := st.sender.svc
+	var span *trace.Span
+	if svc.tracer != nil {
+		name := fmt.Sprintf("frame %d", f.Seq)
+		if parent.Valid() {
+			span = svc.tracer.StartChild(parent, name, trace.LayerAVStreams)
+		} else {
+			span = svc.tracer.StartRoot(name, trace.LayerAVStreams)
+		}
+		span.SetAttr(
+			trace.String("type", f.Type.String()),
+			trace.Int("bytes", int64(f.Size)),
+		)
+	}
 	t.Compute(svc.frameCost(svc.SendCostFixed, svc.SendCostPerKB, f.Size))
 	now := t.Now()
 	st.Stats.RecordSent(f, now)
-	st.sender.conn.Send(st.dst, &transport.Message{
-		Payload: &framePacket{frame: f, sentAt: now},
-		Size:    f.Size,
-	})
+	fp := &framePacket{frame: f, sentAt: now}
+	msg := &transport.Message{Payload: fp, Size: f.Size}
+	if span != nil {
+		fp.ctx = span.Context()
+		msg.Ctx = span.Context()
+	}
+	st.sender.conn.Send(st.dst, msg)
 	return true
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rtos"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/video"
 )
 
@@ -16,10 +17,17 @@ import (
 // bandwidth management happens — a human display can take 30 fps over a
 // reserved path while an ATR process on a congested path gets I-frames
 // only.
+// relayItem is one queued frame together with its inbound trace
+// context, so downstream legs join the same trace.
+type relayItem struct {
+	frame video.Frame
+	ctx   trace.SpanContext
+}
+
 type Distributor struct {
 	svc      *Service
 	receiver *Receiver
-	queue    *sim.Queue[video.Frame]
+	queue    *sim.Queue[relayItem]
 	branches []*Stream
 	thread   *rtos.Thread
 }
@@ -30,11 +38,12 @@ type Distributor struct {
 func (s *Service) NewDistributor(inPort uint16, prio rtos.Priority) *Distributor {
 	d := &Distributor{
 		svc:   s,
-		queue: sim.NewQueue[video.Frame](),
+		queue: sim.NewQueue[relayItem](),
 	}
-	d.receiver = s.CreateReceiver(inPort, prio, func(f video.Frame, sentAt, recvAt sim.Time) {
-		d.queue.Put(f)
-	})
+	d.receiver = s.CreateReceiver(inPort, prio, nil)
+	d.receiver.ctxHandler = func(f video.Frame, sentAt, recvAt sim.Time, ctx trace.SpanContext) {
+		d.queue.Put(relayItem{frame: f, ctx: ctx})
+	}
 	d.thread = s.host.Spawn(fmt.Sprintf("distributor-%d", inPort), prio, d.relay)
 	return d
 }
@@ -65,9 +74,9 @@ func (d *Distributor) AddBranch(p *sim.Proc, outPort uint16, dst netsim.Addr, qo
 // filter decides independently whether the frame passes.
 func (d *Distributor) relay(t *rtos.Thread) {
 	for {
-		f := d.queue.Get(t.Proc())
+		it := d.queue.Get(t.Proc())
 		for _, st := range d.branches {
-			st.SendFrame(t, f)
+			st.sendFrame(t, it.frame, it.ctx)
 		}
 	}
 }

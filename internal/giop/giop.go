@@ -95,6 +95,10 @@ const (
 	// ServiceInvocationTimestamp carries the client's send time, letting
 	// the experiments measure true end-to-end latency.
 	ServiceInvocationTimestamp uint32 = 0x0000_0011
+	// ServiceTraceContext carries the invocation's trace and span IDs so
+	// a span tree can follow one request across process boundaries, the
+	// same way ServiceRTCorbaPriority propagates the CORBA priority.
+	ServiceTraceContext uint32 = 0x0000_0012
 )
 
 // ServiceContext is one tagged service-context entry.
@@ -530,6 +534,39 @@ func TimestampContext(nanos int64, order cdr.ByteOrder) ServiceContext {
 	}
 	e.PutLongLong(nanos)
 	return ServiceContext{ID: ServiceInvocationTimestamp, Data: e.Bytes()}
+}
+
+// TraceContext builds the trace-propagation service context: the CDR
+// encoding of an (order octet, pad, trace id, span id) record.
+func TraceContext(traceID, spanID uint64, order cdr.ByteOrder) ServiceContext {
+	e := cdr.NewEncoder(order)
+	e.PutOctet(byte(order))
+	// Align the two ULongLongs to 8, as TimestampContext does.
+	for e.Len()%8 != 0 {
+		e.PutOctet(0)
+	}
+	e.PutULongLong(traceID)
+	e.PutULongLong(spanID)
+	return ServiceContext{ID: ServiceTraceContext, Data: e.Bytes()}
+}
+
+// ParseTraceContext extracts the trace and span IDs from context data.
+func ParseTraceContext(data []byte) (traceID, spanID uint64, err error) {
+	if len(data) < 1 {
+		return 0, 0, fmt.Errorf("%w: empty trace context", ErrBadMessage)
+	}
+	order := cdr.ByteOrder(data[0])
+	d := cdr.NewDecoder(data, order)
+	if _, err := d.Octet(); err != nil {
+		return 0, 0, err
+	}
+	if traceID, err = d.ULongLong(); err != nil {
+		return 0, 0, fmt.Errorf("%w: trace id: %v", ErrBadMessage, err)
+	}
+	if spanID, err = d.ULongLong(); err != nil {
+		return 0, 0, fmt.Errorf("%w: span id: %v", ErrBadMessage, err)
+	}
+	return traceID, spanID, nil
 }
 
 // ParseTimestampContext extracts the send time in nanoseconds.

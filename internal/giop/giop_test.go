@@ -255,3 +255,66 @@ func TestLocateReplyRejectsBadStatus(t *testing.T) {
 		t.Fatal("bad locate status accepted")
 	}
 }
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	const wantTrace, wantSpan = uint64(0x1122334455667788), uint64(42)
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		req := &Request{
+			RequestID:        9,
+			ResponseExpected: true,
+			ObjectKey:        []byte("app/obj"),
+			Operation:        "op",
+			ServiceContexts: []ServiceContext{
+				PriorityContext(50, order),
+				TraceContext(wantTrace, wantSpan, order),
+			},
+		}
+		msg, err := Decode(req.Marshal(order))
+		if err != nil {
+			t.Fatalf("%v: decode: %v", order, err)
+		}
+		got := msg.(*Request)
+		data, ok := FindContext(got.ServiceContexts, ServiceTraceContext)
+		if !ok {
+			t.Fatalf("%v: trace context missing", order)
+		}
+		tid, sid, err := ParseTraceContext(data)
+		if err != nil {
+			t.Fatalf("%v: parse: %v", order, err)
+		}
+		if tid != wantTrace || sid != wantSpan {
+			t.Fatalf("%v: got trace=%#x span=%d, want trace=%#x span=%d",
+				order, tid, sid, wantTrace, wantSpan)
+		}
+		// The priority context must survive alongside it.
+		pdata, ok := FindContext(got.ServiceContexts, ServiceRTCorbaPriority)
+		if !ok {
+			t.Fatalf("%v: priority context missing", order)
+		}
+		if prio, err := ParsePriorityContext(pdata); err != nil || prio != 50 {
+			t.Fatalf("%v: priority = %d, %v", order, prio, err)
+		}
+	}
+}
+
+func TestTraceContextCrossOrderParse(t *testing.T) {
+	// The context embeds its own byte-order octet, so a big-endian
+	// receiver must decode a little-endian sender's context and vice
+	// versa.
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		sc := TraceContext(7, 13, order)
+		tid, sid, err := ParseTraceContext(sc.Data)
+		if err != nil || tid != 7 || sid != 13 {
+			t.Fatalf("%v: got trace=%d span=%d, %v", order, tid, sid, err)
+		}
+	}
+}
+
+func TestTraceContextRejectsTruncated(t *testing.T) {
+	sc := TraceContext(1, 2, cdr.LittleEndian)
+	for cut := 0; cut < len(sc.Data); cut++ {
+		if _, _, err := ParseTraceContext(sc.Data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

@@ -90,9 +90,18 @@ func Summarize(vs []float64) Summary {
 	if variance < 0 {
 		variance = 0
 	}
+	// Percentiles interpolate linearly between order statistics (the
+	// same convention as numpy's default): the previous truncation of
+	// q*(n-1) biased every percentile low, up to a whole sample's worth
+	// on small n.
 	pct := func(q float64) float64 {
-		idx := int(q * float64(len(sorted)-1))
-		return sorted[idx]
+		rank := q * float64(len(sorted)-1)
+		lo := int(rank)
+		if lo >= len(sorted)-1 {
+			return sorted[len(sorted)-1]
+		}
+		frac := rank - float64(lo)
+		return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 	}
 	return Summary{
 		N:    len(sorted),

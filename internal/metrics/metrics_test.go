@@ -183,3 +183,30 @@ func TestASCIIPlot(t *testing.T) {
 		t.Fatalf("empty plot: %q", got)
 	}
 }
+
+// Regression for the percentile truncation bug: int(q*(n-1)) floored the
+// rank, so e.g. P50 of [1 2 3 4] came out as 2 instead of 2.5 and every
+// percentile was biased low by up to one whole sample on small n.
+func TestPercentilesInterpolate(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.P50 != 2.5 {
+		t.Fatalf("P50 = %v, want 2.5", s.P50)
+	}
+	if want := 1 + 0.95*3; math.Abs(s.P95-want) > 1e-12 {
+		t.Fatalf("P95 = %v, want %v", s.P95, want)
+	}
+	if want := 1 + 0.99*3; math.Abs(s.P99-want) > 1e-12 {
+		t.Fatalf("P99 = %v, want %v", s.P99, want)
+	}
+
+	// Exact ranks still land on the order statistic itself.
+	odd := Summarize([]float64{10, 20, 30})
+	if odd.P50 != 20 {
+		t.Fatalf("odd P50 = %v, want 20", odd.P50)
+	}
+	// Degenerate inputs.
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 || one.P99 != 7 {
+		t.Fatalf("single-sample percentiles = %+v", one)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Link is one unidirectional network link: an egress queue, a serialising
@@ -99,6 +100,13 @@ func (l *Link) String() string {
 // enqueue offers a packet to the egress queue and starts the transmitter
 // if it is idle.
 func (l *Link) enqueue(p *Packet) {
+	if tr := l.net.tracer; tr != nil && p.Ctx.Valid() {
+		p.hopSpan = tr.StartChild(p.Ctx, "hop "+l.from.name+">"+l.to.name, trace.LayerNetsim)
+		p.hopSpan.SetAttr(
+			trace.String("dscp", p.DSCP.String()),
+			trace.Int("bytes", int64(p.Size)),
+		)
+	}
 	if !l.q.Enqueue(p) {
 		l.drops++
 		l.net.countDrop(p, DropQueue)
@@ -130,6 +138,9 @@ func (l *Link) kick() {
 		return
 	}
 	l.busy = true
+	if p.hopSpan != nil {
+		p.hopSpan.Event("tx-start")
+	}
 	txTime := time.Duration(float64(p.Size*8) / l.bps * float64(time.Second))
 	k.After(txTime, func() {
 		l.busy = false
@@ -139,7 +150,13 @@ func (l *Link) kick() {
 			l.lost++
 			l.net.countDrop(p, DropLoss)
 		} else {
-			k.After(l.delay, func() { l.to.receive(p) })
+			k.After(l.delay, func() {
+				if p.hopSpan != nil {
+					p.hopSpan.Finish()
+					p.hopSpan = nil
+				}
+				l.to.receive(p)
+			})
 		}
 		l.kick()
 	})

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // NodeID identifies a node in a Network.
@@ -45,6 +46,7 @@ type Network struct {
 	nextHop [][]*Link // [from][to] -> egress link, nil if unreachable
 	dirty   bool      // topology changed since last route computation
 	flowSeq uint64
+	tracer  *trace.Tracer
 
 	stats map[FlowID]*FlowStats
 }
@@ -56,6 +58,13 @@ func New(k *sim.Kernel) *Network {
 
 // Kernel returns the simulation kernel.
 func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// SetTracer enables per-hop transit spans for packets that carry a
+// trace context. A nil tracer disables them.
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tracer = tr }
+
+// Tracer returns the installed tracer, or nil.
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 
 // NewFlowID allocates a fresh flow identifier.
 func (n *Network) NewFlowID() FlowID {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // DSCP is the Differentiated Services codepoint carried in the 6-bit
@@ -95,6 +96,12 @@ type Packet struct {
 	Payload  any
 	Sent     sim.Time // stamped by Node.Send
 	TTL      int
+	// Ctx is the trace span this packet's message belongs to. When the
+	// network has a tracer installed, each link records a per-hop
+	// transit span under it.
+	Ctx trace.SpanContext
+
+	hopSpan *trace.Span // open span for the hop currently in transit
 }
 
 func (p *Packet) String() string {
@@ -217,4 +224,16 @@ func (n *Network) countDrop(p *Packet, reason DropReason) {
 	st := n.flowStats(p.Flow)
 	st.Dropped++
 	st.DropReasons[reason]++
+	if p.hopSpan != nil {
+		p.hopSpan.Event("drop", trace.String("reason", reason.String()))
+		p.hopSpan.Finish()
+		p.hopSpan = nil
+	} else if n.tracer != nil && p.Ctx.Valid() {
+		// Drops at a node (no route, dead port, TTL) happen outside any
+		// hop span; record them as a zero-length span so the trace still
+		// shows where the packet died.
+		s := n.tracer.StartChild(p.Ctx, "drop", "netsim")
+		s.SetAttr(trace.String("reason", reason.String()))
+		s.Finish()
+	}
 }

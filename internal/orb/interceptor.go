@@ -1,9 +1,13 @@
 package orb
 
 import (
+	"sync"
+
 	"repro/internal/giop"
 	"repro/internal/rtcorba"
+	"repro/internal/rtos"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Portable interceptors: the CORBA meta-programming hook QuO uses to
@@ -25,6 +29,14 @@ type ClientRequestInfo struct {
 	Oneway bool
 	// SentAt is the virtual time the request entered the ORB.
 	SentAt sim.Time
+	// Thread is the invoking thread. Interceptors that keep per-caller
+	// state (like the tracer's active-span chain) key on it.
+	Thread *rtos.Thread
+	// TraceCtx is the invocation's trace context, set by the
+	// ClientTracer when tracing is enabled (invalid otherwise). The ORB
+	// stamps it on the wire message so the network layer can attach
+	// per-hop spans.
+	TraceCtx trace.SpanContext
 	// ExtraContexts lets send interceptors attach service contexts.
 	ExtraContexts []giop.ServiceContext
 	// Err is the invocation outcome, visible to reply interceptors.
@@ -32,6 +44,8 @@ type ClientRequestInfo struct {
 	// RTT is the invocation round-trip time, visible to reply
 	// interceptors (zero for oneways).
 	RTT sim.Time
+
+	span *trace.Span // open invoke span owned by the ClientTracer
 }
 
 // ClientInterceptor brackets client invocations.
@@ -135,8 +149,12 @@ func (f *PriorityFloor) SendRequest(info *ClientRequestInfo) {
 func (*PriorityFloor) ReceiveReply(*ClientRequestInfo) {}
 
 // DispatchProbe is a ready-made server interceptor recording servant
-// execution times.
+// execution times. It is safe for concurrent use: although the
+// simulation kernel serialises virtual-time execution, probes are also
+// exercised from test harnesses and external samplers, so the pending
+// map is mutex-guarded.
 type DispatchProbe struct {
+	mu      sync.Mutex
 	start   map[*ServerRequest]sim.Time
 	Observe func(op string, exec sim.Time, prio rtcorba.Priority)
 }
@@ -150,17 +168,31 @@ func NewDispatchProbe(observe func(op string, exec sim.Time, prio rtcorba.Priori
 
 // ReceiveRequest implements ServerInterceptor.
 func (p *DispatchProbe) ReceiveRequest(info *ServerRequestInfo) {
+	p.mu.Lock()
 	p.start[info.Request] = info.Request.Now()
+	p.mu.Unlock()
 }
 
-// SendReply implements ServerInterceptor.
+// SendReply implements ServerInterceptor. It always removes the
+// request's entry — error outcomes included — so the pending map cannot
+// leak requests whose servants failed.
 func (p *DispatchProbe) SendReply(info *ServerRequestInfo) {
+	p.mu.Lock()
 	start, ok := p.start[info.Request]
+	delete(p.start, info.Request)
+	p.mu.Unlock()
 	if !ok {
 		return
 	}
-	delete(p.start, info.Request)
 	if p.Observe != nil {
 		p.Observe(info.Request.Op, info.Request.Now()-start, info.Request.Priority)
 	}
+}
+
+// Pending returns the number of in-flight dispatches the probe is
+// timing — useful to assert against leaks in tests.
+func (p *DispatchProbe) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.start)
 }

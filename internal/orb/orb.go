@@ -24,6 +24,7 @@ import (
 	"repro/internal/rtcorba"
 	"repro/internal/rtos"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -111,6 +112,7 @@ type ORB struct {
 
 	clientInterceptors []ClientInterceptor
 	serverInterceptors []ServerInterceptor
+	tracer             *trace.Tracer
 
 	// Stats
 	requestsSent       int64
@@ -326,12 +328,13 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 		Priority: prio,
 		Oneway:   opts.Oneway,
 		SentAt:   o.ep.Kernel().Now(),
+		Thread:   t,
 	}
 	o.interceptSend(info)
 	prio = info.Priority
 
 	if !o.cfg.DisableCollocation && ref.Addr == o.Addr() {
-		reply, err := o.invokeCollocated(t, ref, op, body, prio, opts)
+		reply, err := o.invokeCollocated(t, ref, op, body, prio, opts, info.TraceCtx)
 		info.Err = err
 		info.RTT = o.ep.Kernel().Now() - info.SentAt
 		o.interceptReply(info)
@@ -355,8 +358,16 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 		Body:             body,
 	}
 	// Marshalling consumes client CPU before the message hits the wire.
+	var mspan *trace.Span
+	if o.tracer != nil && info.TraceCtx.Valid() {
+		mspan = o.tracer.StartChild(info.TraceCtx, "request.marshal", trace.LayerORB)
+	}
 	t.Compute(o.msgCost(len(body)))
 	wire := req.Marshal(o.cfg.ByteOrder)
+	if mspan != nil {
+		mspan.SetAttr(trace.Int("bytes", int64(len(wire))))
+		mspan.Finish()
+	}
 
 	conn := o.connFor(ref.Addr, prio)
 	var pc *pendingCall
@@ -366,7 +377,7 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 	}
 	// Blocking write: under congestion the client experiences socket-
 	// buffer backpressure rather than queueing unboundedly.
-	conn.stream.SendWait(t.Proc(), &transport.Message{Data: wire})
+	conn.stream.SendWait(t.Proc(), &transport.Message{Data: wire, Ctx: info.TraceCtx})
 	finish := func(body []byte, err error) ([]byte, error) {
 		info.Err = err
 		info.RTT = o.ep.Kernel().Now() - info.SentAt
@@ -390,7 +401,15 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 	}
 	rep := pc.reply
 	// Demarshalling the reply consumes client CPU.
+	var dspan *trace.Span
+	if o.tracer != nil && info.TraceCtx.Valid() {
+		dspan = o.tracer.StartChild(info.TraceCtx, "reply.demarshal", trace.LayerORB)
+	}
 	t.Compute(o.msgCost(len(rep.Body)))
+	if dspan != nil {
+		dspan.SetAttr(trace.Int("bytes", int64(len(rep.Body))))
+		dspan.Finish()
+	}
 	switch rep.Status {
 	case giop.StatusNoException:
 		return finish(rep.Body, nil)
@@ -454,7 +473,7 @@ func (o *ORB) resolveKey(key []byte) (*POA, Servant, bool) {
 // thread pool — priority semantics (the priority model, lane selection,
 // native priority at dispatch) are fully preserved, as TAO's collocated
 // stubs preserve them.
-func (o *ORB) invokeCollocated(t *rtos.Thread, ref *ObjectRef, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions) ([]byte, error) {
+func (o *ORB) invokeCollocated(t *rtos.Thread, ref *ObjectRef, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions, tctx trace.SpanContext) ([]byte, error) {
 	o.requestsSent++
 	poaName, objID, ok := strings.Cut(string(ref.Key), "/")
 	if !ok {
@@ -480,6 +499,7 @@ func (o *ORB) invokeCollocated(t *rtos.Thread, ref *ObjectRef, op string, body [
 	var dispatchErr error
 	work := rtcorba.Work{
 		Priority: prio,
+		Ctx:      tctx,
 		Fn: func(pt *rtos.Thread) {
 			sreq := &ServerRequest{
 				Op:       op,
@@ -489,6 +509,7 @@ func (o *ORB) invokeCollocated(t *rtos.Thread, ref *ObjectRef, op string, body [
 				Thread:   pt,
 				ORB:      o,
 				Oneway:   opts.Oneway,
+				TraceCtx: tctx,
 			}
 			sinfo := &ServerRequestInfo{Request: sreq}
 			o.interceptReceive(sinfo)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/rtcorba"
 	"repro/internal/rtos"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -45,6 +46,12 @@ type ServerRequest struct {
 	ORB *ORB
 	// Oneway reports whether the client expects no reply.
 	Oneway bool
+	// TraceCtx is the trace context propagated from the client via the
+	// ServiceTraceContext GIOP service context (invalid when the client
+	// did not trace the invocation).
+	TraceCtx trace.SpanContext
+
+	dspan *trace.Span // open dispatch span owned by the ServerTracer
 }
 
 // Now returns the current virtual time.
@@ -92,6 +99,9 @@ func (o *ORB) CreatePOA(name string, cfg POAConfig) (*POA, error) {
 	pool, err := rtcorba.NewThreadPool(o.host, o.mm, cfg.Lanes...)
 	if err != nil {
 		return nil, err
+	}
+	if o.tracer != nil {
+		pool.SetTracer(o.tracer)
 	}
 	p := &POA{
 		name:     name,
@@ -182,12 +192,22 @@ func (o *ORB) serverReader(conn *transport.StreamConn, t *rtos.Thread) {
 // dispatchRequest demultiplexes a request to its servant and queues it on
 // the POA's thread pool.
 func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, cancelled map[uint32]bool) {
+	// Extract the client's trace context first: even error replies (bad
+	// key, full lane) should join the caller's trace.
+	var tctx trace.SpanContext
+	if o.tracer != nil {
+		if data, found := giop.FindContext(req.ServiceContexts, giop.ServiceTraceContext); found {
+			if tid, sid, err := giop.ParseTraceContext(data); err == nil {
+				tctx = trace.SpanContext{Trace: trace.TraceID(tid), Span: trace.SpanID(sid)}
+			}
+		}
+	}
 	reply := func(status giop.ReplyStatus, body []byte) {
 		if !req.ResponseExpected {
 			return
 		}
 		rep := &giop.Reply{RequestID: req.RequestID, Status: status, Body: body}
-		conn.Send(&transport.Message{Data: rep.Marshal(o.cfg.ByteOrder)})
+		conn.Send(&transport.Message{Data: rep.Marshal(o.cfg.ByteOrder), Ctx: tctx})
 	}
 
 	poaName, objID, ok := strings.Cut(string(req.ObjectKey), "/")
@@ -224,6 +244,7 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 
 	work := rtcorba.Work{
 		Priority: prio,
+		Ctx:      tctx,
 		Fn: func(t *rtos.Thread) {
 			if cancelled[req.RequestID] {
 				delete(cancelled, req.RequestID)
@@ -237,6 +258,7 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 				Thread:   t,
 				ORB:      o,
 				Oneway:   !req.ResponseExpected,
+				TraceCtx: tctx,
 			}
 			sinfo := &ServerRequestInfo{Request: sreq}
 			o.interceptReceive(sinfo)
@@ -244,6 +266,10 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 			sinfo.Err = err
 			o.interceptSendReply(sinfo)
 			o.requestsDispatched++
+			var rspan *trace.Span
+			if o.tracer != nil && tctx.Valid() {
+				rspan = o.tracer.StartChild(tctx, "reply.marshal", trace.LayerORB)
+			}
 			if err != nil {
 				var se *SystemException
 				id, minor := "IDL:omg.org/CORBA/UNKNOWN:1.0", uint32(0)
@@ -252,10 +278,17 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 				}
 				// Marshalling the exception reply costs CPU too.
 				t.Compute(o.msgCost(64))
+				if rspan != nil {
+					rspan.Finish()
+				}
 				reply(giop.StatusSystemException, encodeSystemException(id, minor, o.cfg.ByteOrder))
 				return
 			}
 			t.Compute(o.msgCost(len(body)))
+			if rspan != nil {
+				rspan.SetAttr(trace.Int("bytes", int64(len(body))))
+				rspan.Finish()
+			}
 			reply(giop.StatusNoException, body)
 		},
 	}

@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/trace/telemetry"
 )
 
 // SysCond is a system condition object: a named, observable value
@@ -132,6 +134,10 @@ type Contract struct {
 	// Stats
 	evals       int64
 	transitions int64
+
+	// Observability (see tracing.go)
+	span *trace.Span
+	reg  *telemetry.Registry
 }
 
 // NewContract creates a contract evaluated every interval once started.
@@ -201,6 +207,9 @@ func (c *Contract) Eval() string {
 		for _, cb := range c.cbs {
 			cb(from, next, v)
 		}
+		c.observe(v, from, next, true)
+	} else {
+		c.observe(v, c.current, c.current, false)
 	}
 	return c.current
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rtos"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Work is a unit dispatched onto a pool thread. The thread's native
@@ -15,6 +16,12 @@ type Work struct {
 	Priority Priority
 	// Fn is executed on the pool thread.
 	Fn func(t *rtos.Thread)
+	// Ctx, when valid, parents the lane-queue span the pool records for
+	// this work item (the enqueue-to-dequeue delay) when a tracer is
+	// installed.
+	Ctx trace.SpanContext
+
+	qspan *trace.Span
 }
 
 // LaneConfig configures one priority lane of a thread pool.
@@ -35,10 +42,15 @@ type LaneConfig struct {
 // request's priority, so high-priority requests never queue behind
 // low-priority ones.
 type ThreadPool struct {
-	host  *rtos.Host
-	mm    *MappingManager
-	lanes []*lane
+	host   *rtos.Host
+	mm     *MappingManager
+	lanes  []*lane
+	tracer *trace.Tracer
 }
+
+// SetTracer enables lane-queue spans for work items carrying a trace
+// context. A nil tracer disables them.
+func (tp *ThreadPool) SetTracer(tr *trace.Tracer) { tp.tracer = tr }
 
 type lane struct {
 	cfg     LaneConfig
@@ -99,6 +111,11 @@ func NewSingleLanePool(host *rtos.Host, mm *MappingManager, prio Priority, threa
 func (tp *ThreadPool) laneWorker(ln *lane, t *rtos.Thread) {
 	for {
 		w := ln.queue.Get(t.Proc())
+		if w.qspan != nil {
+			// The queueing delay ends the moment a lane thread picks the
+			// work up; execution is traced by the dispatch span above.
+			w.qspan.Finish()
+		}
 		// Client-propagated dispatches run at the request's mapped
 		// priority; the mapping manager is consulted per dispatch so a
 		// newly installed custom mapping takes effect immediately.
@@ -117,8 +134,19 @@ func (tp *ThreadPool) laneWorker(ln *lane, t *rtos.Thread) {
 // false if the lane's queue is full (the RT-CORBA TRANSIENT condition).
 func (tp *ThreadPool) Dispatch(w Work) bool {
 	ln := tp.laneFor(w.Priority)
+	if tp.tracer != nil && w.Ctx.Valid() {
+		w.qspan = tp.tracer.StartChild(w.Ctx, "lane.queue", trace.LayerRTCORBA)
+		w.qspan.SetAttr(
+			trace.Int("lane", int64(ln.cfg.Priority)),
+			trace.Int("depth", int64(ln.queue.Len())),
+		)
+	}
 	if !ln.queue.Put(w) {
 		ln.refused++
+		if w.qspan != nil {
+			w.qspan.Event("refused")
+			w.qspan.Finish()
+		}
 		return false
 	}
 	return true

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONL is a sink that writes one JSON object per ended span, in end
+// order. Field order follows the DTO struct definitions, and attribute
+// slices preserve insertion order, so output is deterministic.
+type JSONL struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSONL creates a JSONL exporter writing to w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// Err returns the first write/encode error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+type jsonAttr struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+type jsonEvent struct {
+	T     int64      `json:"t_ns"`
+	Name  string     `json:"name"`
+	Attrs []jsonAttr `json:"attrs,omitempty"`
+}
+
+type jsonSpan struct {
+	Trace  uint64      `json:"trace"`
+	Span   uint64      `json:"span"`
+	Parent uint64      `json:"parent,omitempty"`
+	Name   string      `json:"name"`
+	Layer  string      `json:"layer"`
+	Start  int64       `json:"start_ns"`
+	End    int64       `json:"end_ns"`
+	Attrs  []jsonAttr  `json:"attrs,omitempty"`
+	Events []jsonEvent `json:"events,omitempty"`
+}
+
+func toJSONAttrs(attrs []Attr) []jsonAttr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]jsonAttr, len(attrs))
+	for i, a := range attrs {
+		out[i] = jsonAttr{K: a.Key, V: a.Val}
+	}
+	return out
+}
+
+// OnEnd implements Sink.
+func (j *JSONL) OnEnd(s *Span) {
+	if j.err != nil {
+		return
+	}
+	dto := jsonSpan{
+		Trace:  uint64(s.TraceID),
+		Span:   uint64(s.ID),
+		Parent: uint64(s.Parent),
+		Name:   s.Name,
+		Layer:  s.Layer,
+		Start:  int64(s.Start),
+		End:    int64(s.End),
+		Attrs:  toJSONAttrs(s.Attrs),
+	}
+	for _, ev := range s.Events {
+		dto.Events = append(dto.Events, jsonEvent{T: int64(ev.T), Name: ev.Name, Attrs: toJSONAttrs(ev.Attrs)})
+	}
+	buf, err := json.Marshal(dto)
+	if err != nil {
+		j.err = err
+		return
+	}
+	buf = append(buf, '\n')
+	if _, err := j.w.Write(buf); err != nil {
+		j.err = err
+	}
+}

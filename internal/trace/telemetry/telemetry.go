@@ -1,0 +1,218 @@
+// Package telemetry provides a labeled-metric registry alongside the
+// span tracer: counters, gauges and histograms keyed by name plus an
+// ordered label set (operation, priority, region, ...). Instruments are
+// created on first use and rendered through the existing metrics
+// machinery (Summarize for histogram percentiles, Table for aligned
+// text), so the RED metrics the QuO layer needs — rate, errors,
+// duration per operation/priority/region — come out in the same format
+// as the paper's tables.
+//
+// Like the rest of the simulation, a Registry is driven from the single
+// kernel goroutine and needs no locking; iteration for rendering is
+// sorted by instrument key so output is deterministic.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Label is one key=value dimension of an instrument.
+type Label struct {
+	K, V string
+}
+
+// L is shorthand for building a Label.
+func L(k, v string) Label { return Label{K: k, V: v} }
+
+// keyOf builds the canonical instrument key: name{k1=v1,k2=v2} with
+// labels sorted by key.
+func keyOf(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].K < sorted[j].K })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteByte('=')
+		b.WriteString(l.V)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d (negative deltas panic: counters only go up).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("telemetry: counter decrement")
+	}
+	c.v += d
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a point-in-time value (queue depth, region index, rate).
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+
+// Value returns the last set value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram accumulates observations for distribution statistics.
+type Histogram struct {
+	vs []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.vs = append(h.vs, v) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.vs) }
+
+// Values returns the raw samples in observation order.
+func (h *Histogram) Values() []float64 { return h.vs }
+
+// Summary computes distribution statistics via metrics.Summarize.
+func (h *Histogram) Summary() metrics.Summary { return metrics.Summarize(h.vs) }
+
+// Registry holds labeled instruments, created on first use.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	k := keyOf(name, labels)
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	k := keyOf(name, labels)
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram for
+// name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	k := keyOf(name, labels)
+	h, ok := r.histograms[k]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[k] = h
+	}
+	return h
+}
+
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterTable renders all counters as a metrics.Table, sorted by key.
+func (r *Registry) CounterTable() *metrics.Table {
+	tb := metrics.NewTable("Counters", "Metric", "Value")
+	for _, k := range sortedKeys(r.counters) {
+		tb.AddRow(k, fmt.Sprintf("%g", r.counters[k].v))
+	}
+	return tb
+}
+
+// GaugeTable renders all gauges as a metrics.Table, sorted by key.
+func (r *Registry) GaugeTable() *metrics.Table {
+	tb := metrics.NewTable("Gauges", "Metric", "Value")
+	for _, k := range sortedKeys(r.gauges) {
+		tb.AddRow(k, fmt.Sprintf("%g", r.gauges[k].v))
+	}
+	return tb
+}
+
+// HistogramTable renders all histograms with their distribution
+// statistics, sorted by key.
+func (r *Registry) HistogramTable() *metrics.Table {
+	tb := metrics.NewTable("Histograms", "Metric", "N", "Mean", "P50", "P95", "P99", "Max")
+	for _, k := range sortedKeys(r.histograms) {
+		s := r.histograms[k].Summary()
+		tb.AddRow(k,
+			fmt.Sprintf("%d", s.N),
+			fmt.Sprintf("%.6g", s.Mean),
+			fmt.Sprintf("%.6g", s.P50),
+			fmt.Sprintf("%.6g", s.P95),
+			fmt.Sprintf("%.6g", s.P99),
+			fmt.Sprintf("%.6g", s.Max),
+		)
+	}
+	return tb
+}
+
+// Render produces every non-empty table, in counter/gauge/histogram
+// order.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	if len(r.counters) > 0 {
+		b.WriteString(r.CounterTable().Render())
+	}
+	if len(r.gauges) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.GaugeTable().Render())
+	}
+	if len(r.histograms) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.HistogramTable().Render())
+	}
+	return b.String()
+}

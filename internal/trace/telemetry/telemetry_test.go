@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabelOrderCanonicalized(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("orb.requests", L("op", "echo"), L("prio", "10"))
+	b := r.Counter("orb.requests", L("prio", "10"), L("op", "echo"))
+	if a != b {
+		t.Fatal("label order created two instruments for the same series")
+	}
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("value = %v, want 2", a.Value())
+	}
+	if c := r.Counter("orb.requests", L("op", "echo"), L("prio", "20")); c == a {
+		t.Fatal("different label value mapped to the same instrument")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	if got := keyOf("m", nil); got != "m" {
+		t.Fatalf("unlabeled key = %q", got)
+	}
+	got := keyOf("m", []Label{{K: "z", V: "1"}, {K: "a", V: "2"}})
+	if got != "m{a=2,z=1}" {
+		t.Fatalf("key = %q, want m{a=2,z=1}", got)
+	}
+}
+
+func TestCounterRejectsDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c").Add(-1)
+}
+
+func TestGaugeAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("quo.cond", L("cond", "fps"))
+	g.Set(27.5)
+	if g.Value() != 27.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("orb.rtt_ms", L("op", "echo"))
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	s := h.Summary()
+	if s.Mean != 2.5 || s.P50 != 2.5 {
+		t.Fatalf("summary mean/P50 = %v/%v, want 2.5/2.5", s.Mean, s.P50)
+	}
+}
+
+func TestRenderSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	// Insert out of lexical order; rendering must sort.
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Add(3)
+	r.Gauge("mid.gauge").Set(7)
+	r.Histogram("h.lat", L("op", "x")).Observe(1.5)
+
+	out := r.Render()
+	if out != r.Render() {
+		t.Fatal("Render not stable across calls")
+	}
+	if !strings.Contains(out, "Counters") || !strings.Contains(out, "Gauges") ||
+		!strings.Contains(out, "Histograms") {
+		t.Fatalf("missing sections:\n%s", out)
+	}
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Fatalf("counters not sorted by key:\n%s", out)
+	}
+	if !strings.Contains(out, "h.lat{op=x}") {
+		t.Fatalf("histogram key missing labels:\n%s", out)
+	}
+}
+
+func TestRenderEmptyRegistry(t *testing.T) {
+	if out := NewRegistry().Render(); out != "" {
+		t.Fatalf("empty registry rendered %q", out)
+	}
+}

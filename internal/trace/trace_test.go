@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func at(k *sim.Kernel, t sim.Time, fn func()) { k.At(t, fn) }
+
+func TestSpanIDsAreSequential(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+
+	r1 := tr.StartRoot("a", LayerORB)
+	c1 := tr.StartChild(r1.Context(), "b", LayerPOA)
+	r2 := tr.StartRoot("c", LayerApp)
+
+	if r1.TraceID != 1 || r2.TraceID != 2 {
+		t.Fatalf("trace IDs = %d, %d; want 1, 2", r1.TraceID, r2.TraceID)
+	}
+	if r1.ID != 1 || c1.ID != 2 || r2.ID != 3 {
+		t.Fatalf("span IDs = %d, %d, %d; want 1, 2, 3", r1.ID, c1.ID, r2.ID)
+	}
+	if c1.TraceID != r1.TraceID || c1.Parent != r1.ID {
+		t.Fatalf("child not linked to root: %+v", c1)
+	}
+	if r1.Parent != 0 || r2.Parent != 0 {
+		t.Fatal("roots must have no parent")
+	}
+}
+
+func TestStartChildWithInvalidParentRoots(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	s := tr.StartChild(SpanContext{}, "orphan", LayerORB)
+	if s.Parent != 0 || s.TraceID == 0 {
+		t.Fatalf("invalid parent should root a fresh trace: %+v", s)
+	}
+}
+
+func TestFinishIsIdempotent(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	var s *Span
+	at(k, 0, func() { s = tr.StartRoot("op", LayerORB) })
+	at(k, 3*time.Millisecond, func() { s.Finish(); s.Finish() })
+	k.RunUntil(10 * time.Millisecond)
+
+	if !s.Ended() || s.Duration() != 3*time.Millisecond {
+		t.Fatalf("duration = %v, want 3ms", s.Duration())
+	}
+	if n := tr.Collector().Len(); n != 1 {
+		t.Fatalf("collector has %d spans after double Finish, want 1", n)
+	}
+}
+
+func TestRemoteFinishByContext(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	var s *Span
+	at(k, 0, func() { s = tr.StartRoot("frame", LayerAVStreams) })
+	at(k, time.Millisecond, func() {
+		// Mismatched trace ID must not close it.
+		tr.Finish(SpanContext{Trace: s.TraceID + 1, Span: s.ID})
+	})
+	at(k, 2*time.Millisecond, func() { tr.Finish(s.Context()) })
+	k.RunUntil(10 * time.Millisecond)
+
+	if !s.Ended() || s.Duration() != 2*time.Millisecond {
+		t.Fatalf("remote finish failed: ended=%v dur=%v", s.Ended(), s.Duration())
+	}
+	if tr.OpenSpan(s.Context()) != nil {
+		t.Fatal("finished span still reported open")
+	}
+}
+
+func TestFlushOpenTagsUnfinished(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	a := tr.StartRoot("a", LayerQuO)
+	b := tr.StartChild(a.Context(), "b", LayerQuO)
+	tr.FlushOpen()
+
+	for _, s := range []*Span{a, b} {
+		if !s.Ended() {
+			t.Fatalf("span %q not flushed", s.Name)
+		}
+		found := false
+		for _, attr := range s.Attrs {
+			if attr.Key == "unfinished" && attr.Val == "true" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("span %q missing unfinished tag: %v", s.Name, s.Attrs)
+		}
+	}
+	// Flushed in ID order → collector end order is a, b.
+	spans := tr.Collector().Spans()
+	if spans[0] != a || spans[1] != b {
+		t.Fatal("flush order not deterministic by span ID")
+	}
+}
+
+func TestActiveSpanChain(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	key := "thread-1"
+	if tr.Active(key).Valid() {
+		t.Fatal("fresh key should have no active span")
+	}
+	s := tr.StartRoot("dispatch", LayerPOA)
+	tr.SetActive(key, s.Context())
+	if got := tr.Active(key); got != s.Context() {
+		t.Fatalf("Active = %v, want %v", got, s.Context())
+	}
+	tr.ClearActive(key)
+	if tr.Active(key).Valid() {
+		t.Fatal("ClearActive did not clear")
+	}
+}
+
+// buildTree makes a deterministic four-span tree:
+//
+//	root  [0, 10ms]  orb
+//	  net [1,  4ms]  netsim
+//	  poa [4,  9ms]  poa
+//	    quo [5, 6ms] quo
+func buildTree(t *testing.T, k *sim.Kernel, tr *Tracer) TraceID {
+	t.Helper()
+	var root, net, poa, quo *Span
+	at(k, 0, func() { root = tr.StartRoot("invoke op", LayerORB) })
+	at(k, 1*time.Millisecond, func() { net = tr.StartChild(root.Context(), "hop a>b", LayerNetsim) })
+	at(k, 4*time.Millisecond, func() {
+		net.Finish()
+		poa = tr.StartChild(root.Context(), "dispatch op", LayerPOA)
+	})
+	at(k, 5*time.Millisecond, func() {
+		quo = tr.StartChild(poa.Context(), "contract eval", LayerQuO)
+		quo.Event("transition", String("to", "degraded"))
+	})
+	at(k, 6*time.Millisecond, func() { quo.Finish() })
+	at(k, 9*time.Millisecond, func() { poa.Finish() })
+	at(k, 10*time.Millisecond, func() { root.Finish() })
+	k.RunUntil(20 * time.Millisecond)
+	return root.TraceID
+}
+
+func TestBreakdownChargesDeepestSpan(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	id := buildTree(t, k, tr)
+
+	shares, total := tr.Collector().Breakdown(id)
+	if total != 10*time.Millisecond {
+		t.Fatalf("total = %v, want 10ms", total)
+	}
+	got := make(map[string]sim.Time)
+	var sum sim.Time
+	for _, sh := range shares {
+		got[sh.Layer] = sh.Time
+		sum += sh.Time
+	}
+	// Every instant goes to the deepest covering span: orb keeps only the
+	// uncovered head and tail, poa loses its quo-covered millisecond.
+	want := map[string]sim.Time{
+		LayerORB:    2 * time.Millisecond, // [0,1) + [9,10)
+		LayerNetsim: 3 * time.Millisecond, // [1,4)
+		LayerPOA:    4 * time.Millisecond, // [4,5) + [6,9)
+		LayerQuO:    1 * time.Millisecond, // [5,6)
+	}
+	for layer, d := range want {
+		if got[layer] != d {
+			t.Errorf("layer %s = %v, want %v", layer, got[layer], d)
+		}
+	}
+	if sum != total {
+		t.Fatalf("shares sum to %v, want exactly %v", sum, total)
+	}
+	// Descending time order, deterministic.
+	for i := 1; i < len(shares); i++ {
+		if shares[i].Time > shares[i-1].Time {
+			t.Fatalf("shares not sorted: %v", shares)
+		}
+	}
+}
+
+func TestRenderTreeDeterministic(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	id := buildTree(t, k, tr)
+
+	col := tr.Collector()
+	out := col.RenderTree(id)
+	if out != col.RenderTree(id) {
+		t.Fatal("RenderTree not stable across calls")
+	}
+	for _, want := range []string{
+		"trace 1 (4 spans)",
+		"- invoke op [orb]",
+		"  - hop a>b [netsim]",
+		"    - contract eval [quo]",
+		"* transition",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	var buf bytes.Buffer
+	tr.AddSink(NewJSONL(&buf))
+	buildTree(t, k, tr)
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSONL lines, want 4", len(lines))
+	}
+	for _, line := range lines {
+		var dto struct {
+			Trace uint64 `json:"trace"`
+			Span  uint64 `json:"span"`
+			Name  string `json:"name"`
+			Layer string `json:"layer"`
+			Start int64  `json:"start_ns"`
+			End   int64  `json:"end_ns"`
+		}
+		if err := json.Unmarshal([]byte(line), &dto); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if dto.Trace != 1 || dto.Span == 0 || dto.Name == "" || dto.Layer == "" {
+			t.Fatalf("incomplete span record: %s", line)
+		}
+		if dto.End < dto.Start {
+			t.Fatalf("span ends before it starts: %s", line)
+		}
+	}
+}

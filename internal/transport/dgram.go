@@ -114,6 +114,7 @@ func (c *DgramConn) Send(dst netsim.Addr, m *Message) {
 			Size:    chunk + headerBytes,
 			DSCP:    c.dscp,
 			Flow:    c.flow,
+			Ctx:     m.Ctx,
 			Payload: &fragment{msgID: c.msgID, idx: i, count: count, payload: m},
 		})
 	}

@@ -263,6 +263,7 @@ func (c *StreamConn) transmit(seg *segment) {
 		Size:    seg.size + headerBytes,
 		DSCP:    c.dscp,
 		Flow:    c.flow,
+		Ctx:     seg.msg.Ctx,
 		Payload: seg,
 	})
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Endpoint is a messaging attachment point on a network node.
@@ -45,6 +46,10 @@ type Message struct {
 	Data    []byte
 	Payload any
 	Size    int
+	// Ctx, when valid, is the trace span this message belongs to; the
+	// transports copy it onto every packet so the network layer can
+	// record per-hop transit spans under the right parent.
+	Ctx trace.SpanContext
 }
 
 // WireSize returns the message's size on the wire.
