@@ -10,10 +10,13 @@
 // 0 selects each experiment's paper-scale length (30s for the DiffServ
 // figures, 300s for the reservation runs, 40 images for Table 2).
 // -series additionally dumps raw latency time series (the figures' line
-// data) for the priority experiments.
+// data) for the priority experiments. -json writes one BENCH_<name>.json
+// per measured experiment with per-scenario latency percentiles and
+// throughput, for machine consumption (regression tracking, plotting).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +33,7 @@ func main() {
 	series := flag.Bool("series", false, "dump raw latency series for fig4/fig5/fig6")
 	csv := flag.Bool("csv", false, "emit latency series as CSV instead of gnuplot-style text")
 	plot := flag.Bool("plot", false, "render ASCII plots of the figure series")
+	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json with per-scenario percentiles and throughput")
 	flag.Parse()
 
 	opt := experiments.Options{Seed: *seed, Duration: *duration}
@@ -37,6 +41,11 @@ func main() {
 	ran := 0
 
 	want := func(name string) bool { return *run == "all" || *run == name }
+	emit := func(name string, stats []benchStat) {
+		if *jsonOut {
+			writeBench(name, *seed, stats)
+		}
+	}
 
 	if want("fig2") {
 		fmt.Println(experiments.RunFigure2(opt).Render())
@@ -52,6 +61,7 @@ func main() {
 		if *series {
 			dumpSeries(*csv, r.NoTraffic.S1, r.WithTraffic.S1)
 		}
+		emit("fig4", append(prioStats(r.NoTraffic), prioStats(r.WithTraffic)...))
 		ran++
 	}
 	if want("fig5") {
@@ -60,6 +70,7 @@ func main() {
 		if *series {
 			dumpSeries(*csv, r.NoTraffic.S1, r.NoTraffic.S2)
 		}
+		emit("fig5", append(prioStats(r.NoTraffic), prioStats(r.WithTraffic)...))
 		ran++
 	}
 	if want("fig6") {
@@ -71,18 +82,36 @@ func main() {
 		if *series {
 			dumpSeries(*csv, r.Combined.S1, r.Combined.S2)
 		}
+		emit("fig6", prioStats(r.Combined))
 		ran++
 	}
 	if want("fig7") {
-		fmt.Println(experiments.RunFigure7(opt).Render())
+		r := experiments.RunFigure7(opt)
+		fmt.Println(r.Render())
+		emit("fig7", []benchStat{resvStat(r.NoAdaptation), resvStat(r.PartialWithFilter), resvStat(r.FullReservation)})
 		ran++
 	}
 	if want("table1") {
-		fmt.Println(experiments.RunTable1(opt).Render())
+		r := experiments.RunTable1(opt)
+		fmt.Println(r.Render())
+		var stats []benchStat
+		for _, c := range r.Cases {
+			stats = append(stats, resvStat(c))
+		}
+		emit("table1", stats)
 		ran++
 	}
 	if want("table2") {
-		fmt.Println(experiments.RunTable2(opt).Render())
+		r := experiments.RunTable2(opt)
+		fmt.Println(r.Render())
+		var stats []benchStat
+		for _, row := range r.Rows {
+			stats = append(stats,
+				summaryStat(row.Algo.String()+": no load", row.NoLoad),
+				summaryStat(row.Algo.String()+": competing load", row.Load),
+				summaryStat(row.Algo.String()+": load + reserve", row.Reserve))
+		}
+		emit("table2", stats)
 		ran++
 	}
 	if want("ablations") {
@@ -119,4 +148,99 @@ func dumpSeries(csv bool, series ...*metrics.Series) {
 			fmt.Println(experiments.RenderSeries(s))
 		}
 	}
+}
+
+// benchStat is one scenario's entry in a BENCH_<name>.json file.
+// Latencies are milliseconds; throughput is samples per simulated second.
+type benchStat struct {
+	Scenario   string  `json:"scenario"`
+	Samples    int     `json:"samples"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	Throughput float64 `json:"throughput_per_sec"`
+}
+
+type benchFile struct {
+	Name      string      `json:"name"`
+	Seed      int64       `json:"seed"`
+	Scenarios []benchStat `json:"scenarios"`
+}
+
+// seriesStat derives a benchStat from a latency series and its summary:
+// percentiles from the summary, throughput from the sample count over
+// the series' observed time span.
+func seriesStat(scenario string, s *metrics.Series, sum metrics.Summary) benchStat {
+	st := benchStat{
+		Scenario: scenario,
+		Samples:  sum.N,
+		P50Ms:    sum.P50 * 1e3,
+		P95Ms:    sum.P95 * 1e3,
+		P99Ms:    sum.P99 * 1e3,
+	}
+	if n := len(s.Points); n > 1 {
+		if span := time.Duration(s.Points[n-1].T - s.Points[0].T).Seconds(); span > 0 {
+			st.Throughput = float64(n-1) / span
+		}
+	}
+	return st
+}
+
+// prioStats reports both receiver flows of a DiffServ priority case.
+func prioStats(c experiments.PrioCaseResult) []benchStat {
+	return []benchStat{
+		seriesStat(c.Name+" / sender 1", c.S1, c.Sum1),
+		seriesStat(c.Name+" / sender 2", c.S2, c.Sum2),
+	}
+}
+
+// resvStat reports a reservation case: latency percentiles over the
+// load window, throughput as mean frames received per second.
+func resvStat(c experiments.ResvCaseResult) benchStat {
+	st := benchStat{
+		Scenario: c.Name,
+		Samples:  c.LatencyUnderLoad.N,
+		P50Ms:    c.LatencyUnderLoad.P50 * 1e3,
+		P95Ms:    c.LatencyUnderLoad.P95 * 1e3,
+		P99Ms:    c.LatencyUnderLoad.P99 * 1e3,
+	}
+	if len(c.RecvPerSec) > 0 {
+		var total int64
+		for _, n := range c.RecvPerSec {
+			total += n
+		}
+		st.Throughput = float64(total) / float64(len(c.RecvPerSec))
+	}
+	return st
+}
+
+// summaryStat reports a per-image processing-time summary; throughput
+// is the implied steady-state image rate.
+func summaryStat(scenario string, sum metrics.Summary) benchStat {
+	st := benchStat{
+		Scenario: scenario,
+		Samples:  sum.N,
+		P50Ms:    sum.P50 * 1e3,
+		P95Ms:    sum.P95 * 1e3,
+		P99Ms:    sum.P99 * 1e3,
+	}
+	if sum.Mean > 0 {
+		st.Throughput = 1 / sum.Mean
+	}
+	return st
+}
+
+// writeBench writes BENCH_<name>.json in the current directory.
+func writeBench(name string, seed int64, stats []benchStat) {
+	data, err := json.MarshalIndent(benchFile{Name: name, Seed: seed, Scenarios: stats}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		return
+	}
+	path := "BENCH_" + name + ".json"
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
 }

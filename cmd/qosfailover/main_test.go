@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunByteIdentical pins the acceptance criterion that repeated runs
+// with the same flags produce byte-identical output.
+func TestRunByteIdentical(t *testing.T) {
+	opt := options{seed: 42, period: 100 * time.Millisecond, crashAt: 2 * time.Second, dur: 4 * time.Second}
+	a, b := run(opt), run(opt)
+	if a != b {
+		t.Fatalf("repeated runs diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	opt.recover = true
+	a, b = run(opt), run(opt)
+	if a != b {
+		t.Fatalf("repeated -recover runs diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}

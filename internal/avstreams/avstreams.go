@@ -266,6 +266,16 @@ func (snd *Sender) Bind(p *sim.Proc, dst netsim.Addr, qos QoS) (*Stream, error) 
 // Reservation returns the attached reservation, or nil.
 func (st *Stream) Reservation() *netsim.Reservation { return st.resv }
 
+// Dst returns the stream's current destination address.
+func (st *Stream) Dst() netsim.Addr { return st.dst }
+
+// Retarget switches the stream's destination — the failover knob a
+// fault-tolerance manager turns when the receiver's host crashes and a
+// backup takes over. Frames already in flight keep their old
+// destination; any attached reservation is NOT migrated (a failover
+// runs best-effort until the manager re-reserves).
+func (st *Stream) Retarget(dst netsim.Addr) { st.dst = dst }
+
 // SetFilter sets the QuO frame-filtering level; the next SendFrame
 // applies it. Contracts call this from transition callbacks.
 func (st *Stream) SetFilter(l video.FilterLevel) { st.filter = l }

@@ -1,0 +1,43 @@
+package ft
+
+import (
+	"repro/internal/cdr"
+	"repro/internal/orb"
+	"repro/internal/rtcorba"
+)
+
+// PingOp is the heartbeat operation name understood by the detector
+// servant.
+const PingOp = "ping"
+
+// DetectorPOA is the POA name the per-host fault detector registers
+// under; the servant's object key is "ftdetector/detector".
+const DetectorPOA = "ftdetector"
+
+// RegisterDetector activates the per-host heartbeat fault detector
+// servant on o and returns its reference. The servant answers PingOp by
+// echoing the request body (a sequence number), so a reply proves the
+// full invocation path — network in, dispatch on a live CPU, network
+// out — is up. It dispatches at the given CORBA priority: heartbeats
+// must not be starved by application load, or overload would read as
+// death (a server-declared priority near the top of the range is the
+// usual choice).
+func RegisterDetector(o *orb.ORB, prio rtcorba.Priority) (*orb.ObjectRef, error) {
+	poa, err := o.CreatePOA(DetectorPOA, orb.POAConfig{
+		Model:          rtcorba.ServerDeclared,
+		ServerPriority: prio,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return poa.Activate("detector", orb.ServantFunc(func(req *orb.ServerRequest) ([]byte, error) {
+		return req.Body, nil
+	}))
+}
+
+// pingBody encodes a heartbeat sequence number.
+func pingBody(seq uint32, order cdr.ByteOrder) []byte {
+	e := cdr.NewEncoder(order)
+	e.PutULong(seq)
+	return e.Bytes()
+}

@@ -1,0 +1,129 @@
+// Package ft is a fault-tolerance subsystem in the style of FT-CORBA,
+// layered on the simulated ORB: replicated object groups published as
+// multi-profile (IOGR-style) references, heartbeat fault detection over
+// real ORB invocations, crash fault injection for hosts, and glue that
+// feeds liveness into QuO contracts and retargets A/V streams when a
+// replica's host dies.
+//
+// The client side — walking a group reference's profiles with capped
+// jittered backoff and suppressing duplicate executions via the FT
+// request service context — lives in the orb package; this package
+// provides the management view: creating groups, minting references,
+// detecting faults, and driving recovery actions.
+package ft
+
+import (
+	"fmt"
+
+	"repro/internal/orb"
+)
+
+// Group is one replicated object: an ordered set of member references
+// (profiles). The first member is the primary; the rest are backups in
+// failover order.
+type Group struct {
+	id      uint64
+	version uint64
+	members []*orb.ObjectRef
+}
+
+// GroupManager mints object groups with unique ids (the replication
+// manager's reference-minting half in FT-CORBA terms).
+type GroupManager struct {
+	seq    uint64
+	groups map[uint64]*Group
+}
+
+// NewGroupManager creates an empty manager.
+func NewGroupManager() *GroupManager {
+	return &GroupManager{groups: make(map[uint64]*Group)}
+}
+
+// CreateGroup forms a group over the given member references, primary
+// first. Members must be plain (non-group) references.
+func (m *GroupManager) CreateGroup(members ...*orb.ObjectRef) (*Group, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ft: group needs at least one member")
+	}
+	for _, r := range members {
+		if r.Group != 0 {
+			return nil, fmt.Errorf("ft: member %v is itself a group reference", r.Addr)
+		}
+	}
+	m.seq++
+	g := &Group{id: m.seq, version: 1, members: append([]*orb.ObjectRef(nil), members...)}
+	m.groups[g.id] = g
+	return g, nil
+}
+
+// Group returns the group with the given id, or nil.
+func (m *GroupManager) Group(id uint64) *Group { return m.groups[id] }
+
+// ID returns the group id.
+func (g *Group) ID() uint64 { return g.id }
+
+// Version returns the group's membership version; it advances on every
+// membership change, so stale references are detectable.
+func (g *Group) Version() uint64 { return g.version }
+
+// Members returns the current members, primary first.
+func (g *Group) Members() []*orb.ObjectRef {
+	return append([]*orb.ObjectRef(nil), g.members...)
+}
+
+// Primary returns the current primary member.
+func (g *Group) Primary() *orb.ObjectRef { return g.members[0] }
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Ref mints the group's interoperable reference: the primary's profile
+// in front, the backups as ordered alternate profiles, and the group id
+// stamped so the client ORB engages failover and duplicate suppression.
+func (g *Group) Ref() *orb.ObjectRef {
+	p := g.members[0]
+	ref := &orb.ObjectRef{
+		Addr:           p.Addr,
+		Key:            p.Key,
+		Model:          p.Model,
+		ServerPriority: p.ServerPriority,
+		Group:          g.id,
+	}
+	for _, m := range g.members[1:] {
+		ref.Alternates = append(ref.Alternates, orb.Profile{Addr: m.Addr, Key: m.Key})
+	}
+	return ref
+}
+
+// Promote reorders the membership so the member at index i becomes
+// primary (the others keep their relative order) and bumps the version.
+// References minted afterwards lead with the new primary; references
+// already in client hands keep working because their profile list still
+// covers the membership.
+func (g *Group) Promote(i int) error {
+	if i < 0 || i >= len(g.members) {
+		return fmt.Errorf("ft: promote index %d out of range (group size %d)", i, len(g.members))
+	}
+	if i == 0 {
+		return nil
+	}
+	p := g.members[i]
+	g.members = append([]*orb.ObjectRef{p}, append(g.members[:i:i], g.members[i+1:]...)...)
+	g.version++
+	return nil
+}
+
+// Remove drops the member at index i (e.g. a replica whose host is
+// confirmed dead) and bumps the version. The group must keep at least
+// one member.
+func (g *Group) Remove(i int) error {
+	if i < 0 || i >= len(g.members) {
+		return fmt.Errorf("ft: remove index %d out of range (group size %d)", i, len(g.members))
+	}
+	if len(g.members) == 1 {
+		return fmt.Errorf("ft: cannot remove last member of group %d", g.id)
+	}
+	g.members = append(g.members[:i:i], g.members[i+1:]...)
+	g.version++
+	return nil
+}

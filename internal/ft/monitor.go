@@ -1,0 +1,229 @@
+package ft
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+	"repro/internal/quo"
+	"repro/internal/rtcorba"
+	"repro/internal/rtos"
+)
+
+// MonitorConfig parameterises heartbeat fault detection.
+type MonitorConfig struct {
+	// Period is the heartbeat interval. Defaults to 100ms. The e2e
+	// failover bound is expressed in detector periods: a crash is
+	// declared within SuspectAfter-1 full periods plus one Timeout.
+	Period time.Duration
+	// Timeout bounds each ping's reply wait. Defaults to Period/2.
+	Timeout time.Duration
+	// SuspectAfter is how many consecutive missed heartbeats declare a
+	// member dead. Defaults to 2 (one miss could be transient loss).
+	SuspectAfter int
+	// Priority is the CORBA priority pings are sent at; like the
+	// detector servant's dispatch priority, it should sit above
+	// application traffic. Negative means the monitor thread's own
+	// priority.
+	Priority rtcorba.Priority
+}
+
+func (c *MonitorConfig) defaults() {
+	if c.Period == 0 {
+		c.Period = 100 * time.Millisecond
+	}
+	if c.Timeout == 0 {
+		c.Timeout = c.Period / 2
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 2
+	}
+}
+
+// memberState is the monitor's view of one watched detector.
+type memberState struct {
+	name   string
+	ref    *orb.ObjectRef
+	alive  bool
+	missed int
+}
+
+// Monitor is a heartbeat fault monitor: it pings each watched host's
+// detector servant over real ORB invocations (so detection exercises
+// the same network and endsystem path as application traffic) and
+// publishes liveness transitions to callbacks and QuO system
+// conditions.
+//
+// The liveness map is mutex-guarded: although the simulation kernel
+// serialises virtual-time execution, liveness is also read from test
+// harnesses and external samplers (see the -race tests).
+type Monitor struct {
+	orb *orb.ORB
+	cfg MonitorConfig
+
+	mu      sync.Mutex
+	members []*memberState
+	index   map[string]*memberState
+
+	cbs     []func(name string, alive bool)
+	seq     uint32
+	rounds  int64
+	stopped bool
+}
+
+// NewMonitor creates a monitor issuing pings from o.
+func NewMonitor(o *orb.ORB, cfg MonitorConfig) *Monitor {
+	cfg.defaults()
+	return &Monitor{orb: o, cfg: cfg, index: make(map[string]*memberState)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (m *Monitor) Config() MonitorConfig { return m.cfg }
+
+// Watch adds a detector to the ping schedule. Members start presumed
+// alive; the first SuspectAfter missed heartbeats flip them. Watching
+// the same name twice panics: it is always a scenario bug.
+func (m *Monitor) Watch(name string, ref *orb.ObjectRef) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.index[name]; dup {
+		panic(fmt.Sprintf("ft: monitor already watches %q", name))
+	}
+	st := &memberState{name: name, ref: ref, alive: true}
+	m.members = append(m.members, st)
+	m.index[name] = st
+}
+
+// OnChange registers a callback fired on every liveness transition.
+// Callbacks run on the monitor thread, outside the liveness lock.
+func (m *Monitor) OnChange(fn func(name string, alive bool)) {
+	m.cbs = append(m.cbs, fn)
+}
+
+// Alive reports the monitor's current belief about name. Unknown names
+// read as dead.
+func (m *Monitor) Alive(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.index[name]
+	return ok && st.alive
+}
+
+// AliveCount returns how many watched members are currently believed
+// alive.
+func (m *Monitor) AliveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, st := range m.members {
+		if st.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Rounds returns how many full ping rounds have completed.
+func (m *Monitor) Rounds() int64 { return m.rounds }
+
+// LivenessCond returns a QuO system condition reading 1 while name is
+// believed alive and 0 once it is suspected — the hook that lets a
+// contract region like "degraded: running on backup" react to faults.
+func (m *Monitor) LivenessCond(name string) *quo.FuncCond {
+	return quo.NewFuncCond("alive:"+name, func() float64 {
+		if m.Alive(name) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// FractionAliveCond returns a condition with the fraction of watched
+// members currently believed alive.
+func (m *Monitor) FractionAliveCond() *quo.FuncCond {
+	return quo.NewFuncCond("alive-fraction", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if len(m.members) == 0 {
+			return 1
+		}
+		n := 0
+		for _, st := range m.members {
+			if st.alive {
+				n++
+			}
+		}
+		return float64(n) / float64(len(m.members))
+	})
+}
+
+// Start spawns the monitor thread at the given native priority and
+// begins the ping loop.
+func (m *Monitor) Start(prio rtos.Priority) {
+	m.orb.Host().Spawn("ft-monitor", prio, m.loop)
+}
+
+// Stop ends the ping loop after the current round.
+func (m *Monitor) Stop() { m.stopped = true }
+
+// loop pings every watched detector once per period, in registration
+// order (deterministic), and applies the miss-counting state machine.
+func (m *Monitor) loop(t *rtos.Thread) {
+	next := t.Now()
+	for !m.stopped {
+		m.mu.Lock()
+		targets := append([]*memberState(nil), m.members...)
+		m.mu.Unlock()
+		for _, st := range targets {
+			m.seq++
+			_, err := m.orb.InvokeOpt(t, st.ref, PingOp, pingBody(m.seq, cdr.LittleEndian), orb.InvokeOptions{
+				Timeout:  m.cfg.Timeout,
+				Priority: m.cfg.Priority,
+			})
+			m.record(st.name, err == nil)
+		}
+		m.rounds++
+		next += m.cfg.Period
+		if sleep := next - t.Now(); sleep > 0 {
+			t.Sleep(sleep)
+		} else {
+			// A round overran the period (many timeouts back to back);
+			// re-anchor rather than pinging in a tight loop.
+			next = t.Now()
+		}
+	}
+}
+
+// record folds one ping outcome into the member's state, firing
+// transition callbacks when belief flips.
+func (m *Monitor) record(name string, ok bool) {
+	m.mu.Lock()
+	st := m.index[name]
+	if st == nil {
+		m.mu.Unlock()
+		return
+	}
+	var flipped bool
+	var nowAlive bool
+	if ok {
+		st.missed = 0
+		if !st.alive {
+			st.alive = true
+			flipped, nowAlive = true, true
+		}
+	} else {
+		st.missed++
+		if st.alive && st.missed >= m.cfg.SuspectAfter {
+			st.alive = false
+			flipped, nowAlive = true, false
+		}
+	}
+	m.mu.Unlock()
+	if flipped {
+		for _, cb := range m.cbs {
+			cb(name, nowAlive)
+		}
+	}
+}

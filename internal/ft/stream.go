@@ -1,0 +1,34 @@
+package ft
+
+import (
+	"repro/internal/avstreams"
+	"repro/internal/netsim"
+)
+
+// StreamTarget is one candidate destination for a replicated A/V sink:
+// a monitor member name paired with that member's receiver address.
+type StreamTarget struct {
+	Name string
+	Addr netsim.Addr
+}
+
+// BindStreamFailover retargets st to the first alive target (in the
+// given preference order) on every liveness transition the monitor
+// reports. Frames sent between the crash and the detector's verdict are
+// lost — bounding that window is exactly what the detector period buys.
+// If every target is dead the stream keeps its current destination (the
+// frames are lost either way, and the next transition re-evaluates).
+func BindStreamFailover(m *Monitor, st *avstreams.Stream, targets []StreamTarget) {
+	retarget := func() {
+		for _, tg := range targets {
+			if m.Alive(tg.Name) {
+				if st.Dst() != tg.Addr {
+					st.Retarget(tg.Addr)
+				}
+				return
+			}
+		}
+	}
+	m.OnChange(func(string, bool) { retarget() })
+	retarget()
+}

@@ -1,0 +1,57 @@
+package giop
+
+import (
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+func TestFTRequestContextRoundTrip(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.LittleEndian, cdr.BigEndian} {
+		sc := FTRequestContext(0xDEADBEEFCAFE, 0x1122334455667788, 42, order)
+		if sc.ID != ServiceFTRequest {
+			t.Fatalf("context id = %#x, want %#x", sc.ID, ServiceFTRequest)
+		}
+		g, c, r, err := ParseFTRequestContext(sc.Data)
+		if err != nil {
+			t.Fatalf("parse (%v order): %v", order, err)
+		}
+		if g != 0xDEADBEEFCAFE || c != 0x1122334455667788 || r != 42 {
+			t.Fatalf("round trip (%v order) = (%#x, %#x, %d)", order, g, c, r)
+		}
+	}
+}
+
+func TestFTRequestContextSurvivesRequestMarshal(t *testing.T) {
+	req := &Request{
+		RequestID:        9,
+		ResponseExpected: true,
+		ObjectKey:        []byte("app/obj"),
+		Operation:        "work",
+		ServiceContexts: []ServiceContext{
+			FTRequestContext(5, 77, 3, cdr.LittleEndian),
+		},
+	}
+	msg, err := Decode(req.Marshal(cdr.LittleEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.(*Request)
+	data, found := FindContext(got.ServiceContexts, ServiceFTRequest)
+	if !found {
+		t.Fatal("FT request context lost in marshalling")
+	}
+	g, c, r, err := ParseFTRequestContext(data)
+	if err != nil || g != 5 || c != 77 || r != 3 {
+		t.Fatalf("parsed (%d, %d, %d) err=%v", g, c, r, err)
+	}
+}
+
+func TestFTRequestContextRejectsTruncated(t *testing.T) {
+	sc := FTRequestContext(1, 2, 3, cdr.LittleEndian)
+	for cut := 0; cut < len(sc.Data); cut++ {
+		if _, _, _, err := ParseFTRequestContext(sc.Data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes parsed without error", cut)
+		}
+	}
+}

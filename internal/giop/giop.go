@@ -99,6 +99,13 @@ const (
 	// a span tree can follow one request across process boundaries, the
 	// same way ServiceRTCorbaPriority propagates the CORBA priority.
 	ServiceTraceContext uint32 = 0x0000_0012
+	// ServiceFTRequest is the FT-CORBA request service context: it tags a
+	// logical request with its object-group id, the issuing client's id
+	// and a per-client retention id. The retention id stays the same when
+	// the client retries the request against another group member, which
+	// is what lets servers suppress duplicate executions after a
+	// failover (at-most-once semantics across replicas).
+	ServiceFTRequest uint32 = 0x0000_0013
 )
 
 // ServiceContext is one tagged service-context entry.
@@ -567,6 +574,47 @@ func ParseTraceContext(data []byte) (traceID, spanID uint64, err error) {
 		return 0, 0, fmt.Errorf("%w: span id: %v", ErrBadMessage, err)
 	}
 	return traceID, spanID, nil
+}
+
+// FTRequestContext builds the FT request service context identifying a
+// logical invocation on an object group: the group id, the issuing
+// client's id, and the client's retention id for this request. Retries
+// of the same logical request (against the same or another group
+// member) carry the identical context.
+func FTRequestContext(group, client uint64, retention uint32, order cdr.ByteOrder) ServiceContext {
+	e := cdr.NewEncoder(order)
+	e.PutOctet(byte(order))
+	// Align the ULongLongs to 8, as the other 64-bit contexts do.
+	for e.Len()%8 != 0 {
+		e.PutOctet(0)
+	}
+	e.PutULongLong(group)
+	e.PutULongLong(client)
+	e.PutULong(retention)
+	return ServiceContext{ID: ServiceFTRequest, Data: e.Bytes()}
+}
+
+// ParseFTRequestContext extracts the group, client and retention ids
+// from FT request context data.
+func ParseFTRequestContext(data []byte) (group, client uint64, retention uint32, err error) {
+	if len(data) < 1 {
+		return 0, 0, 0, fmt.Errorf("%w: empty FT request context", ErrBadMessage)
+	}
+	order := cdr.ByteOrder(data[0])
+	d := cdr.NewDecoder(data, order)
+	if _, err := d.Octet(); err != nil {
+		return 0, 0, 0, err
+	}
+	if group, err = d.ULongLong(); err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: FT group id: %v", ErrBadMessage, err)
+	}
+	if client, err = d.ULongLong(); err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: FT client id: %v", ErrBadMessage, err)
+	}
+	if retention, err = d.ULong(); err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: FT retention id: %v", ErrBadMessage, err)
+	}
+	return group, client, retention, nil
 }
 
 // ParseTimestampContext extracts the send time in nanoseconds.

@@ -78,11 +78,21 @@ type Node struct {
 	name          string
 	net           *Network
 	router        bool
+	down          bool
 	out           []*Link
 	ports         map[uint16]Handler
 	rsvp          *rsvpAgent
 	nextEphemeral uint16
 }
+
+// SetDown crash-stops (or revives) the node's network interface: while
+// down, every packet it would originate, deliver, or forward is dropped
+// with DropNodeDown. This is the network half of crash fault injection —
+// a crashed host neither sends nor acknowledges anything.
+func (nd *Node) SetDown(down bool) { nd.down = down }
+
+// Down reports whether the node is crash-stopped.
+func (nd *Node) Down() bool { return nd.down }
 
 // EphemeralPort returns an unbound port in the ephemeral range
 // (20000+), advancing past any ports already in use.
@@ -251,6 +261,29 @@ func (n *Network) Route(src, dst NodeID) []*Link {
 	return path
 }
 
+// Partition severs the given set of nodes from the rest of the network
+// by taking down every link that crosses the cut (both directions).
+// Traffic within the set and within the remainder keeps flowing. It
+// returns a heal function that brings exactly those links back up.
+func (n *Network) Partition(nodes ...*Node) (heal func()) {
+	inSet := make(map[NodeID]bool, len(nodes))
+	for _, nd := range nodes {
+		inSet[nd.id] = true
+	}
+	var cut []*Link
+	for _, l := range n.links {
+		if inSet[l.from.id] != inSet[l.to.id] && !l.Down() {
+			cut = append(cut, l)
+			l.SetDown(true)
+		}
+	}
+	return func() {
+		for _, l := range cut {
+			l.SetDown(false)
+		}
+	}
+}
+
 // Bind registers a packet handler on a node port. Binding an in-use port
 // panics: it is always a programming error in a scenario.
 func (nd *Node) Bind(port uint16, h Handler) {
@@ -274,12 +307,20 @@ func (nd *Node) Send(p *Packet) {
 	p.TTL = 64
 	nd.net.flowStats(p.Flow).Sent++
 	nd.net.flowStats(p.Flow).SentBytes += int64(p.Size)
+	if nd.down {
+		nd.net.countDrop(p, DropNodeDown)
+		return
+	}
 	nd.forward(p)
 }
 
 // receive handles a packet arriving at this node: local delivery,
 // RSVP-control interception, or forwarding.
 func (nd *Node) receive(p *Packet) {
+	if nd.down {
+		nd.net.countDrop(p, DropNodeDown)
+		return
+	}
 	if msg, ok := p.Payload.(*rsvpMsg); ok {
 		nd.rsvp.handle(p, msg)
 		return

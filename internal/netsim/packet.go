@@ -122,6 +122,9 @@ const (
 	DropUnreachable
 	// DropLoss means injected link loss destroyed the packet.
 	DropLoss
+	// DropNodeDown means the packet reached (or originated at) a node
+	// taken down by crash fault injection.
+	DropNodeDown
 )
 
 func (r DropReason) String() string {
@@ -136,6 +139,8 @@ func (r DropReason) String() string {
 		return "unreachable"
 	case DropLoss:
 		return "link-loss"
+	case DropNodeDown:
+		return "node-down"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}

@@ -15,6 +15,8 @@ package orb
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -77,6 +79,19 @@ type Config struct {
 	// instead of the collocated fast path (TAO's collocation
 	// optimisation). Useful for measuring what the optimisation buys.
 	DisableCollocation bool
+	// AttemptTimeout bounds each attempt of an invocation on a group
+	// reference when the caller sets no explicit timeout; without it a
+	// dead replica would block the invocation forever and failover
+	// would never trigger. Defaults to 200ms.
+	AttemptTimeout time.Duration
+	// MaxAttempts caps the failover retry loop on a group reference.
+	// Zero means twice the reference's profile count.
+	MaxAttempts int
+	// BackoffBase and BackoffCap parameterise the exponential backoff
+	// between failover attempts (base doubles each retry up to the
+	// cap, jittered per client). Default 10ms base, 160ms cap.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
 }
 
 func (c *Config) defaults() {
@@ -91,6 +106,15 @@ func (c *Config) defaults() {
 	}
 	if c.NetMapping == nil {
 		c.NetMapping = rtcorba.BestEffortMapping{}
+	}
+	if c.AttemptTimeout == 0 {
+		c.AttemptTimeout = 200 * time.Millisecond
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 160 * time.Millisecond
 	}
 }
 
@@ -109,6 +133,21 @@ type ORB struct {
 	currents map[*rtos.Thread]rtcorba.Priority
 	reqSeq   uint32
 	shutdown bool
+
+	// Client-side fault tolerance state. clientID identifies this ORB
+	// in FT request contexts; ftSeq numbers logical invocations on
+	// group references (the retention id); jrand is the per-client
+	// jitter stream, seeded from the ORB name so backoff is
+	// deterministic per client but decorrelated across clients.
+	clientID uint64
+	ftSeq    uint32
+	jrand    *rand.Rand
+
+	// Server-side duplicate suppression: completed (and in-progress)
+	// executions keyed by FT request context, so a retried request is
+	// answered from cache instead of executed twice.
+	ftReplies map[ftKey]*ftEntry
+	ftOrder   []ftKey
 
 	clientInterceptors []ClientInterceptor
 	serverInterceptors []ServerInterceptor
@@ -141,16 +180,22 @@ func New(name string, host *rtos.Host, net *netsim.Network, node *netsim.Node, c
 	if cfg.IOPriority == 0 {
 		cfg.IOPriority = host.Priorities().Max
 	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	cid := h.Sum64()
 	o := &ORB{
-		name:     name,
-		host:     host,
-		ep:       transport.NewEndpoint(net, node),
-		cfg:      cfg,
-		mm:       rtcorba.NewMappingManager(),
-		poas:     make(map[string]*POA),
-		conns:    make(map[connKey]*clientConn),
-		pending:  make(map[uint32]*pendingCall),
-		currents: make(map[*rtos.Thread]rtcorba.Priority),
+		name:      name,
+		host:      host,
+		ep:        transport.NewEndpoint(net, node),
+		cfg:       cfg,
+		mm:        rtcorba.NewMappingManager(),
+		poas:      make(map[string]*POA),
+		conns:     make(map[connKey]*clientConn),
+		pending:   make(map[uint32]*pendingCall),
+		currents:  make(map[*rtos.Thread]rtcorba.Priority),
+		clientID:  cid,
+		jrand:     rand.New(rand.NewSource(int64(cid))),
+		ftReplies: make(map[ftKey]*ftEntry),
 	}
 	o.lis = o.ep.Listen(cfg.ListenPort)
 	host.Spawn(name+"-acceptor", cfg.IOPriority, o.acceptLoop)
@@ -321,7 +366,9 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 		prio = o.Current(t).Priority()
 	}
 	// Client interceptors see the request before anything else happens
-	// and may adjust its priority or attach service contexts.
+	// and may adjust its priority or attach service contexts. They
+	// bracket the logical invocation once: failover retries and
+	// forward-following happen inside, under the same trace context.
 	info := &ClientRequestInfo{
 		Ref:      ref,
 		Op:       op,
@@ -333,12 +380,20 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 	o.interceptSend(info)
 	prio = info.Priority
 
-	if !o.cfg.DisableCollocation && ref.Addr == o.Addr() {
-		reply, err := o.invokeCollocated(t, ref, op, body, prio, opts, info.TraceCtx)
-		info.Err = err
-		info.RTT = o.ep.Kernel().Now() - info.SentAt
-		o.interceptReply(info)
-		return reply, err
+	reply, err := o.invokeRouted(t, ref, op, body, prio, opts, info)
+	info.Err = err
+	info.RTT = o.ep.Kernel().Now() - info.SentAt
+	o.interceptReply(info)
+	return reply, err
+}
+
+// invokeOnce performs exactly one attempt against one profile: the
+// collocated fast path when the profile is local, otherwise a GIOP
+// request/reply exchange. A LOCATION_FORWARD outcome is returned as a
+// *forwardedError for the caller to follow.
+func (o *ORB) invokeOnce(t *rtos.Thread, p Profile, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions, timeout time.Duration, info *ClientRequestInfo, extra []giop.ServiceContext) ([]byte, error) {
+	if !o.cfg.DisableCollocation && p.Addr == o.Addr() {
+		return o.invokeCollocated(t, p.Key, op, body, prio, opts, timeout, info.TraceCtx)
 	}
 	o.reqSeq++
 	reqID := o.reqSeq
@@ -349,10 +404,11 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 		giop.TimestampContext(int64(o.ep.Kernel().Now()), o.cfg.ByteOrder),
 	}
 	contexts = append(contexts, info.ExtraContexts...)
+	contexts = append(contexts, extra...)
 	req := &giop.Request{
 		RequestID:        reqID,
 		ResponseExpected: !opts.Oneway,
-		ObjectKey:        ref.Key,
+		ObjectKey:        p.Key,
 		Operation:        op,
 		ServiceContexts:  contexts,
 		Body:             body,
@@ -369,7 +425,7 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 		mspan.Finish()
 	}
 
-	conn := o.connFor(ref.Addr, prio)
+	conn := o.connFor(p.Addr, prio)
 	var pc *pendingCall
 	if !opts.Oneway {
 		pc = &pendingCall{sig: sim.NewSignal()}
@@ -378,23 +434,17 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 	// Blocking write: under congestion the client experiences socket-
 	// buffer backpressure rather than queueing unboundedly.
 	conn.stream.SendWait(t.Proc(), &transport.Message{Data: wire, Ctx: info.TraceCtx})
-	finish := func(body []byte, err error) ([]byte, error) {
-		info.Err = err
-		info.RTT = o.ep.Kernel().Now() - info.SentAt
-		o.interceptReply(info)
-		return body, err
-	}
 	if opts.Oneway {
-		return finish(nil, nil)
+		return nil, nil
 	}
 
-	if opts.Timeout > 0 {
-		if !pc.sig.WaitTimeout(t.Proc(), opts.Timeout) {
+	if timeout > 0 {
+		if !pc.sig.WaitTimeout(t.Proc(), timeout) {
 			delete(o.pending, reqID)
 			// Tell the server to abandon the request if still queued.
 			cancel := (&giop.CancelRequest{RequestID: reqID}).Marshal(o.cfg.ByteOrder)
 			conn.stream.Send(&transport.Message{Data: cancel})
-			return finish(nil, ErrTimeout)
+			return nil, ErrTimeout
 		}
 	} else {
 		pc.sig.Wait(t.Proc())
@@ -412,11 +462,17 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 	}
 	switch rep.Status {
 	case giop.StatusNoException:
-		return finish(rep.Body, nil)
+		return rep.Body, nil
 	case giop.StatusSystemException:
-		return finish(nil, decodeSystemException(rep, o.cfg.ByteOrder))
+		return nil, decodeSystemException(rep, o.cfg.ByteOrder)
+	case giop.StatusLocationForward:
+		fref, err := decodeForward(rep.Body, o.cfg.ByteOrder)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &forwardedError{ref: fref}
 	default:
-		return finish(nil, fmt.Errorf("orb: unsupported reply status %v", rep.Status))
+		return nil, fmt.Errorf("orb: unsupported reply status %v", rep.Status)
 	}
 }
 
@@ -473,9 +529,9 @@ func (o *ORB) resolveKey(key []byte) (*POA, Servant, bool) {
 // thread pool — priority semantics (the priority model, lane selection,
 // native priority at dispatch) are fully preserved, as TAO's collocated
 // stubs preserve them.
-func (o *ORB) invokeCollocated(t *rtos.Thread, ref *ObjectRef, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions, tctx trace.SpanContext) ([]byte, error) {
+func (o *ORB) invokeCollocated(t *rtos.Thread, key []byte, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions, timeout time.Duration, tctx trace.SpanContext) ([]byte, error) {
 	o.requestsSent++
-	poaName, objID, ok := strings.Cut(string(ref.Key), "/")
+	poaName, objID, ok := strings.Cut(string(key), "/")
 	if !ok {
 		return nil, fmt.Errorf("%w (collocated, bad key)", ErrObjectNotExist)
 	}
@@ -526,12 +582,18 @@ func (o *ORB) invokeCollocated(t *rtos.Thread, ref *ObjectRef, op string, body [
 	if opts.Oneway {
 		return nil, nil
 	}
-	if opts.Timeout > 0 {
-		if !done.WaitTimeout(t.Proc(), opts.Timeout) {
+	if timeout > 0 {
+		if !done.WaitTimeout(t.Proc(), timeout) {
 			return nil, ErrTimeout
 		}
 	} else {
 		done.Wait(t.Proc())
+	}
+	var fr *ForwardRequest
+	if errors.As(dispatchErr, &fr) {
+		// Collocated servants can forward too; surface it the same way
+		// the wire path does so the invocation loop follows it.
+		return nil, &forwardedError{ref: fr.Ref}
 	}
 	return replyBody, dispatchErr
 }

@@ -189,6 +189,54 @@ func (o *ORB) serverReader(conn *transport.StreamConn, t *rtos.Thread) {
 	}
 }
 
+// ftKey identifies one logical client invocation on an object group —
+// the FT request service context's (group, client, retention) triple.
+type ftKey struct {
+	group, client uint64
+	retention     uint32
+}
+
+// ftEntry records the execution state of one FT request at a replica.
+// While in progress, retransmissions park as waiters; once done, the
+// cached reply is resent instead of executing the request again.
+type ftEntry struct {
+	done    bool
+	status  giop.ReplyStatus
+	body    []byte
+	waiters []ftWaiter
+}
+
+// ftWaiter is a retransmitted request awaiting the original execution.
+type ftWaiter struct {
+	conn  *transport.StreamConn
+	reqID uint32
+	tctx  trace.SpanContext
+}
+
+// ftCacheCap bounds the completed-request cache (FIFO eviction).
+const ftCacheCap = 512
+
+// completeFT records an FT request's outcome, answers any parked
+// retransmissions, and evicts the oldest cached replies beyond the cap.
+func (o *ORB) completeFT(k ftKey, status giop.ReplyStatus, body []byte) {
+	e, ok := o.ftReplies[k]
+	if !ok {
+		return
+	}
+	e.done, e.status, e.body = true, status, body
+	for _, w := range e.waiters {
+		rep := &giop.Reply{RequestID: w.reqID, Status: status, Body: body}
+		w.conn.Send(&transport.Message{Data: rep.Marshal(o.cfg.ByteOrder), Ctx: w.tctx})
+	}
+	e.waiters = nil
+	o.ftOrder = append(o.ftOrder, k)
+	for len(o.ftOrder) > ftCacheCap {
+		old := o.ftOrder[0]
+		o.ftOrder = o.ftOrder[1:]
+		delete(o.ftReplies, old)
+	}
+}
+
 // dispatchRequest demultiplexes a request to its servant and queues it on
 // the POA's thread pool.
 func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, cancelled map[uint32]bool) {
@@ -202,9 +250,39 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 			}
 		}
 	}
+
+	// Duplicate suppression for fault-tolerant requests: a failover
+	// retry carries the same (group, client, retention) triple as the
+	// original, so if this replica already executed it — or is still
+	// executing it — the retry must not run the servant a second time.
+	var ftk ftKey
+	hasFT := false
+	if req.ResponseExpected {
+		if data, found := giop.FindContext(req.ServiceContexts, giop.ServiceFTRequest); found {
+			if g, c, r, err := giop.ParseFTRequestContext(data); err == nil {
+				ftk, hasFT = ftKey{group: g, client: c, retention: r}, true
+			}
+		}
+	}
+	if hasFT {
+		if e, ok := o.ftReplies[ftk]; ok {
+			if e.done {
+				rep := &giop.Reply{RequestID: req.RequestID, Status: e.status, Body: e.body}
+				conn.Send(&transport.Message{Data: rep.Marshal(o.cfg.ByteOrder), Ctx: tctx})
+			} else {
+				e.waiters = append(e.waiters, ftWaiter{conn: conn, reqID: req.RequestID, tctx: tctx})
+			}
+			return
+		}
+		o.ftReplies[ftk] = &ftEntry{}
+	}
+
 	reply := func(status giop.ReplyStatus, body []byte) {
 		if !req.ResponseExpected {
 			return
+		}
+		if hasFT {
+			o.completeFT(ftk, status, body)
 		}
 		rep := &giop.Reply{RequestID: req.RequestID, Status: status, Body: body}
 		conn.Send(&transport.Message{Data: rep.Marshal(o.cfg.ByteOrder), Ctx: tctx})
@@ -248,7 +326,17 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 		Fn: func(t *rtos.Thread) {
 			if cancelled[req.RequestID] {
 				delete(cancelled, req.RequestID)
-				return
+				if hasFT {
+					if e, ok := o.ftReplies[ftk]; ok && len(e.waiters) > 0 {
+						// A failover retransmission is already parked on
+						// this entry: execute anyway so it gets a reply.
+					} else {
+						delete(o.ftReplies, ftk)
+						return
+					}
+				} else {
+					return
+				}
 			}
 			sreq := &ServerRequest{
 				Op:       req.Operation,
@@ -269,6 +357,18 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 			var rspan *trace.Span
 			if o.tracer != nil && tctx.Valid() {
 				rspan = o.tracer.StartChild(tctx, "reply.marshal", trace.LayerORB)
+			}
+			var fr *ForwardRequest
+			if errors.As(err, &fr) {
+				// The servant redirected the client (e.g. a backup
+				// pointing at the new primary after promotion).
+				t.Compute(o.msgCost(64))
+				if rspan != nil {
+					rspan.SetAttr(trace.String("forward", fr.Ref.Addr.String()))
+					rspan.Finish()
+				}
+				reply(giop.StatusLocationForward, encodeForward(fr.Ref, o.cfg.ByteOrder))
+				return
 			}
 			if err != nil {
 				var se *SystemException

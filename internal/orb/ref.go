@@ -15,24 +15,88 @@ import (
 // adapter embeds (priority model and declared server priority), so that
 // clients can honour server-side policies — as the paper describes for
 // RT-CORBA object references.
+//
+// A fault-tolerant reference (IOGR style) additionally carries the
+// object-group id and an ordered list of alternate profiles; the ORB's
+// client-side failover machinery walks Addr/Key first and then the
+// alternates when an invocation on a group reference fails.
 type ObjectRef struct {
 	Addr           netsim.Addr
 	Key            []byte
 	Model          rtcorba.PriorityModel
 	ServerPriority rtcorba.Priority
+	// Group is the object-group id for fault-tolerant references
+	// (zero for a plain single-profile reference).
+	Group uint64
+	// Alternates are the failover targets tried, in order, after the
+	// primary Addr/Key profile.
+	Alternates []Profile
+}
+
+// Profile is one addressable endpoint of a (possibly replicated) object.
+type Profile struct {
+	Addr netsim.Addr
+	Key  []byte
+}
+
+// Profiles returns the reference's profiles in failover order: the
+// primary Addr/Key first, then the alternates.
+func (r *ObjectRef) Profiles() []Profile {
+	out := make([]Profile, 0, 1+len(r.Alternates))
+	out = append(out, Profile{Addr: r.Addr, Key: r.Key})
+	out = append(out, r.Alternates...)
+	return out
 }
 
 // ErrBadRef reports an unparseable stringified reference.
 var ErrBadRef = errors.New("orb: malformed object reference")
 
-// String produces a corbaloc-style stringified reference.
+// String produces a corbaloc-style stringified reference. Group
+// references append the group id and the alternate profiles, so a
+// multi-profile reference survives a String → ParseRef round trip (e.g.
+// through the naming service).
 func (r *ObjectRef) String() string {
 	model := "client"
 	if r.Model == rtcorba.ServerDeclared {
 		model = "server"
 	}
-	return fmt.Sprintf("sior:node=%d;port=%d;key=%s;model=%s;prio=%d",
+	s := fmt.Sprintf("sior:node=%d;port=%d;key=%s;model=%s;prio=%d",
 		r.Addr.Node, r.Addr.Port, string(r.Key), model, r.ServerPriority)
+	if r.Group != 0 {
+		s += fmt.Sprintf(";group=%d", r.Group)
+	}
+	if len(r.Alternates) > 0 {
+		parts := make([]string, len(r.Alternates))
+		for i, p := range r.Alternates {
+			parts[i] = fmt.Sprintf("%d:%d:%s", p.Addr.Node, p.Addr.Port, string(p.Key))
+		}
+		s += ";alt=" + strings.Join(parts, ",")
+	}
+	return s
+}
+
+// parseProfile parses one "node:port:key" alternate-profile entry.
+func parseProfile(s string) (Profile, error) {
+	var p Profile
+	nodeStr, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return p, fmt.Errorf("%w: alt profile %q", ErrBadRef, s)
+	}
+	portStr, key, ok := strings.Cut(rest, ":")
+	if !ok || key == "" {
+		return p, fmt.Errorf("%w: alt profile %q", ErrBadRef, s)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return p, fmt.Errorf("%w: alt node %q", ErrBadRef, nodeStr)
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return p, fmt.Errorf("%w: alt port %q", ErrBadRef, portStr)
+	}
+	p.Addr = netsim.Addr{Node: netsim.NodeID(node), Port: uint16(port)}
+	p.Key = []byte(key)
+	return p, nil
 }
 
 // ParseRef parses a stringified reference produced by String.
@@ -77,6 +141,20 @@ func ParseRef(s string) (*ObjectRef, error) {
 				return nil, fmt.Errorf("%w: prio %q", ErrBadRef, v)
 			}
 			ref.ServerPriority = rtcorba.Priority(n)
+		case "group":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: group %q", ErrBadRef, v)
+			}
+			ref.Group = n
+		case "alt":
+			for _, part := range strings.Split(v, ",") {
+				p, err := parseProfile(part)
+				if err != nil {
+					return nil, err
+				}
+				ref.Alternates = append(ref.Alternates, p)
+			}
 		default:
 			return nil, fmt.Errorf("%w: unknown field %q", ErrBadRef, k)
 		}

@@ -54,6 +54,7 @@ type CPU struct {
 	runFrom sim.Time
 	timer   *sim.Event
 	seq     uint64
+	halted  bool
 
 	// accounting
 	busy     time.Duration
@@ -150,11 +151,39 @@ func (c *CPU) hasPeer(j *job) bool {
 	return false
 }
 
+// halt crash-stops the processor: the running job is charged for the
+// time it got, the dispatch timer is cancelled, and no job runs until
+// recover. Queued demands stay queued, frozen mid-computation.
+func (c *CPU) halt() {
+	if c.halted {
+		return
+	}
+	c.charge()
+	c.halted = true
+	c.running = nil
+	if c.timer != nil {
+		c.timer.Cancel()
+		c.timer = nil
+	}
+}
+
+// recover restarts a halted processor and dispatches the frozen queue.
+func (c *CPU) recover() {
+	if !c.halted {
+		return
+	}
+	c.halted = false
+	c.reschedule()
+}
+
 // reschedule is the single scheduling decision point. It is invoked on
 // every event that can change the dispatch order: job arrival, completion,
 // priority change, reservation replenishment or depletion, quantum expiry,
 // and mutex handoffs.
 func (c *CPU) reschedule() {
+	if c.halted {
+		return
+	}
 	k := c.host.k
 	c.charge()
 	if c.timer != nil {

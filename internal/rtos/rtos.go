@@ -107,6 +107,20 @@ func (h *Host) CPU() *CPU { return h.cpu }
 // ResourceKernel returns the host's reservation manager.
 func (h *Host) ResourceKernel() *ResourceKernel { return h.rk }
 
+// Halt crash-stops the host: the CPU stops dispatching, so every thread
+// blocks at its next (or current) Compute and queued work freezes in
+// place. Timers and network interrupts that do not consume CPU are not
+// modelled as stopping — pair Halt with taking the host's network node
+// down to simulate a full crash (see the ft package's CrashHost).
+func (h *Host) Halt() { h.cpu.halt() }
+
+// Recover restarts a halted host's CPU; frozen compute demands resume
+// where they stopped.
+func (h *Host) Recover() { h.cpu.recover() }
+
+// Halted reports whether the host is crash-stopped.
+func (h *Host) Halted() bool { return h.cpu.halted }
+
 // Spawn starts a new thread at the given native priority running fn.
 // The priority is clamped to the host's range.
 func (h *Host) Spawn(name string, prio Priority, fn func(t *Thread)) *Thread {

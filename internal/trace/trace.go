@@ -32,6 +32,7 @@ const (
 	LayerQuO       = "quo"
 	LayerAVStreams = "avstreams"
 	LayerApp       = "app"
+	LayerFT        = "ft"
 )
 
 // TraceID identifies one causally-related span tree.
