@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, ablations, verify")
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, ablations, verify")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = paper scale)")
 	series := flag.Bool("series", false, "dump raw latency series for fig4/fig5/fig6")
@@ -114,6 +114,12 @@ func main() {
 		emit("table2", stats)
 		ran++
 	}
+	if want("overload") {
+		r := experiments.RunOverload(opt)
+		fmt.Println(r.Render())
+		emit("overload", overloadStats(r))
+		ran++
+	}
 	if want("ablations") {
 		fmt.Println(experiments.RenderAblations(experiments.RunAblations(opt)))
 		ran++
@@ -159,6 +165,9 @@ type benchStat struct {
 	P95Ms      float64 `json:"p95_ms"`
 	P99Ms      float64 `json:"p99_ms"`
 	Throughput float64 `json:"throughput_per_sec"`
+	// ShedRate is the fraction of offered load deliberately shed
+	// (overload scenarios only).
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 type benchFile struct {
@@ -212,6 +221,31 @@ func resvStat(c experiments.ResvCaseResult) benchStat {
 		st.Throughput = float64(total) / float64(len(c.RecvPerSec))
 	}
 	return st
+}
+
+// overloadStats reports the overload scenario: high-band latency during
+// the 2x window, and the low band's shed rate with its served rate as
+// throughput.
+func overloadStats(r experiments.OverloadResult) []benchStat {
+	high := benchStat{
+		Scenario: "overload / high band (2x window)",
+		Samples:  r.HighOver.N,
+		P50Ms:    r.HighOver.P50 * 1e3,
+		P95Ms:    r.HighOver.P95 * 1e3,
+		P99Ms:    r.HighOver.P99 * 1e3,
+	}
+	if r.Duration > 0 {
+		high.Throughput = float64(r.HighOK) / r.Duration.Seconds()
+	}
+	low := benchStat{
+		Scenario: "overload / low band",
+		Samples:  int(r.LowOffered),
+		ShedRate: r.ShedRate,
+	}
+	if r.Duration > 0 {
+		low.Throughput = float64(r.LowServed) / r.Duration.Seconds()
+	}
+	return []benchStat{high, low}
 }
 
 // summaryStat reports a per-image processing-time summary; throughput

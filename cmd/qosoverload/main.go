@@ -1,0 +1,72 @@
+// Command qosoverload runs the overload-protection acceptance scenario:
+// the UAV service pipeline driven to 2x saturation of its low-priority
+// lane while flight-critical commands share the server, plus group-
+// reference ops traffic whose circuit breaker routes around the
+// saturated primary. It prints a degradation timeline — per-bucket
+// offered/served/shed rates, worst command latency, lane queue depth,
+// and breaker state — followed by the breaker transition log and an
+// acceptance summary.
+//
+// Usage:
+//
+//	qosoverload [-seed N] [-dur D]
+//
+// All times in the timeline are virtual: repeated runs with the same
+// flags produce byte-identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type options struct {
+	seed int64
+	dur  time.Duration
+}
+
+// run executes the scenario and returns the full report as a string.
+func run(opt options) string {
+	r := experiments.RunOverload(experiments.Options{Seed: opt.seed, Duration: opt.dur})
+
+	out := fmt.Sprintf("qosoverload: 2x lane saturation in [%v, %v) of %v (seed %d)\n\n",
+		r.WarmEnd, r.OverEnd, r.Duration, opt.seed)
+	out += r.RenderTimeline()
+	out += "\n"
+	out += r.Render()
+	out += "\nacceptance:\n"
+
+	verdict := func(ok bool) string {
+		if ok {
+			return "within"
+		}
+		return "EXCEEDS"
+	}
+	out += fmt.Sprintf("  high-band p99 under overload   %v (%s deadline %v)\n",
+		r.HighP99(), verdict(r.HighP99() <= r.HighDeadline), r.HighDeadline)
+	out += fmt.Sprintf("  high-band failures             %d of %d\n", r.HighFailed, r.HighSent)
+	out += fmt.Sprintf("  low-band shed rate             %.1f%% (%d of %d offered; queue bounded, final depth %d)\n",
+		100*r.ShedRate, r.LowRefused+r.LowShedDeadline+r.LowShedEvicted, r.LowOffered, r.PrimaryQueueFinal)
+	breakerVerdict := "never opened"
+	switch {
+	case r.BreakerOpened && r.BreakerReclosed:
+		breakerVerdict = "opened on the saturated primary, re-closed after load dropped"
+	case r.BreakerOpened:
+		breakerVerdict = "opened on the saturated primary, still open"
+	}
+	out += fmt.Sprintf("  circuit breaker                %s (%d transitions)\n", breakerVerdict, len(r.Breaker))
+	out += fmt.Sprintf("  ops availability               %d ok, %d overload, %d deadline, %d other\n",
+		r.OpsOK, r.OpsOverload, r.OpsDeadline, r.OpsFailed)
+	return out
+}
+
+func main() {
+	opt := options{}
+	flag.Int64Var(&opt.seed, "seed", 42, "simulation seed")
+	flag.DurationVar(&opt.dur, "dur", 0, "virtual duration (0 = default 9s; split into nominal/overload/recovery thirds)")
+	flag.Parse()
+	fmt.Print(run(opt))
+}

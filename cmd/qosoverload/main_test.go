@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunByteIdentical pins the acceptance criteria: repeated runs with
+// the same seed produce byte-identical output, the high band stays
+// within its deadline at 2x saturation, and the circuit breaker opens on
+// the saturated primary and re-closes after the load drops.
+func TestRunByteIdentical(t *testing.T) {
+	opt := options{seed: 42}
+	a, b := run(opt), run(opt)
+	if a != b {
+		t.Fatalf("repeated runs diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "(within deadline") {
+		t.Errorf("high band exceeded its deadline:\n%s", a)
+	}
+	if !strings.Contains(a, "re-closed after load dropped") {
+		t.Errorf("breaker did not open and re-close:\n%s", a)
+	}
+}

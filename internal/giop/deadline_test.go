@@ -1,0 +1,53 @@
+package giop
+
+import (
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+func TestDeadlineContextRoundTrip(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.LittleEndian, cdr.BigEndian} {
+		ctx := DeadlineContext(1_500_000_000, order)
+		if ctx.ID != ServiceDeadline {
+			t.Fatalf("context id = %#x, want %#x", ctx.ID, ServiceDeadline)
+		}
+		got, err := ParseDeadlineContext(ctx.Data)
+		if err != nil {
+			t.Fatalf("%v: parse: %v", order, err)
+		}
+		if got != 1_500_000_000 {
+			t.Fatalf("%v: expiry = %d, want 1500000000", order, got)
+		}
+	}
+}
+
+func TestDeadlineContextSurvivesRequestMarshal(t *testing.T) {
+	req := &Request{
+		RequestID:       1,
+		ObjectKey:       []byte("p/o"),
+		Operation:       "op",
+		ServiceContexts: []ServiceContext{DeadlineContext(42, cdr.LittleEndian)},
+	}
+	msg, err := Decode(req.Marshal(cdr.LittleEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := FindContext(msg.(*Request).ServiceContexts, ServiceDeadline)
+	if !ok {
+		t.Fatal("deadline context missing after round trip")
+	}
+	expiry, err := ParseDeadlineContext(data)
+	if err != nil || expiry != 42 {
+		t.Fatalf("expiry = %d (%v), want 42", expiry, err)
+	}
+}
+
+func TestDeadlineContextRejectsTruncated(t *testing.T) {
+	ctx := DeadlineContext(42, cdr.LittleEndian)
+	for n := 0; n < len(ctx.Data); n++ {
+		if _, err := ParseDeadlineContext(ctx.Data[:n]); err == nil {
+			t.Fatalf("truncated deadline context of %d bytes parsed", n)
+		}
+	}
+}

@@ -106,6 +106,12 @@ const (
 	// is what lets servers suppress duplicate executions after a
 	// failover (at-most-once semantics across replicas).
 	ServiceFTRequest uint32 = 0x0000_0013
+	// ServiceDeadline carries the invocation's end-to-end deadline — the
+	// absolute expiry instant (simulation-clock nanoseconds) derived from
+	// an RT-CORBA RELATIVE_RT_TIMEOUT policy at the client. Every layer
+	// that buffers the request (lane queue, servant dispatch) checks the
+	// remaining budget and sheds work that can no longer meet it.
+	ServiceDeadline uint32 = 0x0000_0014
 )
 
 // ServiceContext is one tagged service-context entry.
@@ -615,6 +621,37 @@ func ParseFTRequestContext(data []byte) (group, client uint64, retention uint32,
 		return 0, 0, 0, fmt.Errorf("%w: FT retention id: %v", ErrBadMessage, err)
 	}
 	return group, client, retention, nil
+}
+
+// DeadlineContext builds the end-to-end deadline service context: the
+// absolute expiry instant in simulation-clock nanoseconds.
+func DeadlineContext(expiry int64, order cdr.ByteOrder) ServiceContext {
+	e := cdr.NewEncoder(order)
+	e.PutOctet(byte(order))
+	// Align the LongLong to 8, as the other 64-bit contexts do.
+	for e.Len()%8 != 0 {
+		e.PutOctet(0)
+	}
+	e.PutLongLong(expiry)
+	return ServiceContext{ID: ServiceDeadline, Data: e.Bytes()}
+}
+
+// ParseDeadlineContext extracts the absolute expiry instant from deadline
+// context data.
+func ParseDeadlineContext(data []byte) (int64, error) {
+	if len(data) < 1 {
+		return 0, fmt.Errorf("%w: empty deadline context", ErrBadMessage)
+	}
+	order := cdr.ByteOrder(data[0])
+	d := cdr.NewDecoder(data, order)
+	if _, err := d.Octet(); err != nil {
+		return 0, err
+	}
+	v, err := d.LongLong()
+	if err != nil {
+		return 0, fmt.Errorf("%w: deadline context: %v", ErrBadMessage, err)
+	}
+	return v, nil
 }
 
 // ParseTimestampContext extracts the send time in nanoseconds.

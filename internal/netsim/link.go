@@ -2,11 +2,45 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// Corrupter is implemented by packet payloads that can produce a
+// bit-flipped copy of themselves for byte-level fault injection. The
+// copy must not alias mutable state of the original — the original may
+// still sit in a sender's retransmission buffer. Returning nil means
+// the corruption is detectable by the payload's integrity check (a
+// checksummed header, an opaque simulated object): the packet is
+// destroyed instead of delivered.
+type Corrupter interface {
+	CorruptCopy(r *rand.Rand) any
+}
+
+// FaultProfile configures byte-level fault injection on a link: each
+// field is the independent per-packet probability of that fault.
+type FaultProfile struct {
+	// Corrupt flips bits in the payload. Payloads implementing Corrupter
+	// are delivered corrupted (the receiver's parser must cope);
+	// anything else is destroyed as a checksum failure.
+	Corrupt float64
+	// Duplicate delivers the packet twice.
+	Duplicate float64
+	// Reorder holds the packet back long enough for packets transmitted
+	// after it to overtake it.
+	Reorder float64
+}
+
+func (f FaultProfile) validate() {
+	for _, p := range []float64{f.Corrupt, f.Duplicate, f.Reorder} {
+		if p < 0 || p > 1 {
+			panic("netsim: fault probability out of [0,1]")
+		}
+	}
+}
 
 // Link is one unidirectional network link: an egress queue, a serialising
 // transmitter of the configured bandwidth, and a propagation delay.
@@ -23,13 +57,17 @@ type Link struct {
 
 	// Fault injection
 	lossRate float64
+	faults   FaultProfile
 	down     bool
 
 	// Stats
-	txPackets int64
-	txBytes   int64
-	drops     int64
-	lost      int64
+	txPackets  int64
+	txBytes    int64
+	drops      int64
+	lost       int64
+	corrupted  int64
+	duplicated int64
+	reordered  int64
 }
 
 // SetLossRate makes the link randomly corrupt (lose) the given fraction
@@ -43,6 +81,25 @@ func (l *Link) SetLossRate(p float64) {
 
 // LossRate returns the injected loss rate.
 func (l *Link) LossRate() float64 { return l.lossRate }
+
+// SetFaults installs a byte-level fault-injection profile on the link.
+func (l *Link) SetFaults(f FaultProfile) {
+	f.validate()
+	l.faults = f
+}
+
+// Faults returns the installed fault profile.
+func (l *Link) Faults() FaultProfile { return l.faults }
+
+// Corrupted returns the number of packets hit by injected corruption
+// (delivered flipped or destroyed as checksum failures).
+func (l *Link) Corrupted() int64 { return l.corrupted }
+
+// Duplicated returns the number of packets delivered twice.
+func (l *Link) Duplicated() int64 { return l.duplicated }
+
+// Reordered returns the number of packets held back for reordering.
+func (l *Link) Reordered() int64 { return l.reordered }
 
 // SetDown takes the link down (transmission stalls; queued and arriving
 // packets wait or overflow the queue) or brings it back up.
@@ -107,6 +164,11 @@ func (l *Link) enqueue(p *Packet) {
 			trace.Int("bytes", int64(p.Size)),
 		)
 	}
+	if p.Deadline > 0 && l.net.k.Now() > p.Deadline {
+		// Already late: spend no queue space or bandwidth on it.
+		l.net.countDrop(p, DropDeadline)
+		return
+	}
 	if !l.q.Enqueue(p) {
 		l.drops++
 		l.net.countDrop(p, DropQueue)
@@ -146,18 +208,79 @@ func (l *Link) kick() {
 		l.busy = false
 		l.txPackets++
 		l.txBytes += int64(p.Size)
-		if l.lossRate > 0 && k.Rand().Float64() < l.lossRate {
-			l.lost++
-			l.net.countDrop(p, DropLoss)
-		} else {
-			k.After(l.delay, func() {
-				if p.hopSpan != nil {
-					p.hopSpan.Finish()
-					p.hopSpan = nil
-				}
-				l.to.receive(p)
-			})
-		}
+		l.transmitFaults(p)
 		l.kick()
+	})
+}
+
+// transmitFaults applies the link's fault injection to a just-serialised
+// packet and starts propagation for whatever survives. Random draws
+// happen in a fixed order (loss, corrupt, duplicate, reorder) and only
+// for configured faults, so scenarios without fault injection consume
+// the kernel's random stream exactly as before.
+func (l *Link) transmitFaults(p *Packet) {
+	k := l.net.k
+	if l.lossRate > 0 && k.Rand().Float64() < l.lossRate {
+		l.lost++
+		l.net.countDrop(p, DropLoss)
+		return
+	}
+	if l.faults.Corrupt > 0 && k.Rand().Float64() < l.faults.Corrupt {
+		l.corrupted++
+		var flipped any
+		if c, ok := p.Payload.(Corrupter); ok {
+			flipped = c.CorruptCopy(k.Rand())
+		}
+		if flipped == nil {
+			// Integrity-checked payload: the receiver would discard it,
+			// so the packet dies on the wire.
+			l.net.countDrop(p, DropCorrupt)
+			return
+		}
+		// Deliver a corrupted copy; the original may sit in a sender's
+		// retransmission buffer and must stay intact.
+		cp := *p
+		cp.Payload = flipped
+		if cp.hopSpan != nil {
+			cp.hopSpan.Event("corrupt")
+		}
+		p = &cp
+	}
+	if l.faults.Duplicate > 0 && k.Rand().Float64() < l.faults.Duplicate {
+		l.duplicated++
+		dup := *p
+		dup.hopSpan = nil // the duplicate travels outside the trace
+		l.propagate(&dup, l.delay)
+	}
+	delay := l.delay
+	if l.faults.Reorder > 0 && k.Rand().Float64() < l.faults.Reorder {
+		l.reordered++
+		// Hold the packet back past at least two propagation delays (plus
+		// slack for zero-delay links) so later transmissions overtake it.
+		extra := 2*l.delay + time.Millisecond
+		if l.delay > 0 {
+			extra += time.Duration(k.Rand().Int63n(int64(l.delay)))
+		}
+		delay += extra
+	}
+	l.propagate(p, delay)
+}
+
+// propagate schedules the packet's arrival at the far node after delay,
+// destroying it if that node crash-stops while it is in flight.
+func (l *Link) propagate(p *Packet, delay time.Duration) {
+	epoch := l.to.epoch
+	l.net.k.After(delay, func() {
+		if l.to.epoch != epoch {
+			// The receiver crashed (and possibly rebooted) mid-flight;
+			// its pre-crash receive path is gone.
+			l.net.countDrop(p, DropTransitDown)
+			return
+		}
+		if p.hopSpan != nil {
+			p.hopSpan.Finish()
+			p.hopSpan = nil
+		}
+		l.to.receive(p)
 	})
 }

@@ -79,6 +79,7 @@ type Node struct {
 	net           *Network
 	router        bool
 	down          bool
+	epoch         int // bumped on each crash; in-flight packets from an older epoch die on arrival
 	out           []*Link
 	ports         map[uint16]Handler
 	rsvp          *rsvpAgent
@@ -88,8 +89,21 @@ type Node struct {
 // SetDown crash-stops (or revives) the node's network interface: while
 // down, every packet it would originate, deliver, or forward is dropped
 // with DropNodeDown. This is the network half of crash fault injection —
-// a crashed host neither sends nor acknowledges anything.
-func (nd *Node) SetDown(down bool) { nd.down = down }
+// a crashed host neither sends nor acknowledges anything. Each crash
+// also advances the node's epoch, so packets already in flight towards
+// the node when it went down are destroyed on arrival (DropTransitDown)
+// even if the node has been revived by then: a reboot must not
+// materialise pre-crash bytes.
+func (nd *Node) SetDown(down bool) {
+	if down {
+		nd.epoch++
+	}
+	nd.down = down
+}
+
+// Epoch returns the node's crash epoch (the number of SetDown(true)
+// calls so far).
+func (nd *Node) Epoch() int { return nd.epoch }
 
 // Down reports whether the node is crash-stopped.
 func (nd *Node) Down() bool { return nd.down }
@@ -319,6 +333,10 @@ func (nd *Node) Send(p *Packet) {
 func (nd *Node) receive(p *Packet) {
 	if nd.down {
 		nd.net.countDrop(p, DropNodeDown)
+		return
+	}
+	if p.Deadline > 0 && nd.net.k.Now() > p.Deadline {
+		nd.net.countDrop(p, DropDeadline)
 		return
 	}
 	if msg, ok := p.Payload.(*rsvpMsg); ok {

@@ -96,6 +96,12 @@ type Packet struct {
 	Payload  any
 	Sent     sim.Time // stamped by Node.Send
 	TTL      int
+	// Deadline, when non-zero, is the absolute virtual time after which
+	// the packet's payload is worthless. Links and nodes shed expired
+	// packets (DropDeadline) instead of spending bandwidth and queue
+	// space delivering them late — the network half of end-to-end
+	// deadline propagation.
+	Deadline sim.Time
 	// Ctx is the trace span this packet's message belongs to. When the
 	// network has a tracer installed, each link records a per-hop
 	// transit span under it.
@@ -125,6 +131,17 @@ const (
 	// DropNodeDown means the packet reached (or originated at) a node
 	// taken down by crash fault injection.
 	DropNodeDown
+	// DropTransitDown means the destination node crash-stopped while the
+	// packet was in flight on its final hop: even if the node has since
+	// been revived, pre-crash bytes must not materialise on it.
+	DropTransitDown
+	// DropDeadline means the packet's end-to-end deadline expired in
+	// transit and it was shed rather than delivered late.
+	DropDeadline
+	// DropCorrupt means injected byte corruption hit a payload whose
+	// integrity check would catch it (a checksummed header or an opaque
+	// simulated object), destroying the packet.
+	DropCorrupt
 )
 
 func (r DropReason) String() string {
@@ -141,6 +158,12 @@ func (r DropReason) String() string {
 		return "link-loss"
 	case DropNodeDown:
 		return "node-down"
+	case DropTransitDown:
+		return "transit-node-down"
+	case DropDeadline:
+		return "deadline"
+	case DropCorrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}

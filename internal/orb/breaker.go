@@ -1,0 +1,208 @@
+package orb
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Client-side circuit breaking, layered under the FT-CORBA failover
+// path. The failover loop treats "replica answered with an overload
+// shed" and "replica never answered" the same way — try the next
+// profile — but keeps coming back to the sick endpoint on every lap,
+// burning an attempt timeout (or a shed round trip) each time. The
+// breaker remembers: after BreakerThreshold consecutive classified
+// failures to one endpoint its circuit opens, and the failover loop
+// routes around it without spending an attempt. After a cooldown one
+// probe invocation is let through (half-open); success re-closes the
+// circuit, failure re-opens it with the cooldown doubled (capped), so a
+// replica that stays saturated is probed at a decaying rate instead of
+// hammered.
+//
+// Probe timing is jittered from the ORB's per-client stream (o.jrand),
+// the same deterministic source the failover backoff uses: one client
+// replays identically run to run, distinct clients desynchronise their
+// probes so a recovering replica is not hit by all of them at once.
+
+// BreakerState is one endpoint's circuit state.
+type BreakerState int
+
+const (
+	// BreakerClosed admits traffic normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen has one probe invocation in flight; its outcome
+	// decides between re-closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerTransition records one circuit state change, for scenario
+// timelines and assertions.
+type BreakerTransition struct {
+	At   sim.Time
+	Addr netsim.Addr
+	From BreakerState
+	To   BreakerState
+}
+
+// breakerEntry is the per-endpoint circuit.
+type breakerEntry struct {
+	state    BreakerState
+	fails    int           // consecutive classified failures while closed
+	until    sim.Time      // open: earliest instant a probe may go out
+	cooldown time.Duration // current open interval (doubles on failed probes)
+}
+
+// breaker tracks circuit state for every endpoint this ORB invokes.
+type breaker struct {
+	o           *ORB
+	entries     map[netsim.Addr]*breakerEntry
+	transitions []BreakerTransition
+}
+
+func newBreaker(o *ORB) *breaker {
+	return &breaker{o: o, entries: make(map[netsim.Addr]*breakerEntry)}
+}
+
+func (b *breaker) entry(addr netsim.Addr) *breakerEntry {
+	e, ok := b.entries[addr]
+	if !ok {
+		e = &breakerEntry{cooldown: b.o.cfg.BreakerCooldown}
+		b.entries[addr] = e
+	}
+	return e
+}
+
+func (b *breaker) transition(addr netsim.Addr, e *breakerEntry, to BreakerState) {
+	from := e.state
+	e.state = to
+	b.transitions = append(b.transitions, BreakerTransition{
+		At: b.o.ep.Kernel().Now(), Addr: addr, From: from, To: to,
+	})
+	if b.o.tracer != nil {
+		s := b.o.tracer.StartRoot("breaker."+to.String(), trace.LayerOverload)
+		s.SetAttr(trace.String("endpoint", addr.String()), trace.String("from", from.String()))
+		s.Finish()
+	}
+}
+
+// allow reports whether an invocation to addr may proceed. When an open
+// circuit's cooldown has elapsed it flips to half-open and admits the
+// calling invocation as the single probe.
+func (b *breaker) allow(addr netsim.Addr) bool {
+	if b.o.cfg.DisableBreaker {
+		return true
+	}
+	e := b.entry(addr)
+	switch e.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.o.ep.Kernel().Now() >= e.until {
+			b.transition(addr, e, BreakerHalfOpen)
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: the probe is already in flight
+		return false
+	}
+}
+
+// breakerFailure reports whether err counts against the circuit:
+// deliberate overload sheds, deadline misses, and crash timeouts all
+// mean the endpoint is not currently delivering useful replies.
+// Application exceptions and protocol errors do not trip the breaker —
+// the endpoint answered, just not usefully.
+func breakerFailure(err error) bool {
+	return errorsIsAny(err, ErrOverload, ErrDeadlineExpired, ErrTimeout)
+}
+
+// record feeds an invocation outcome into addr's circuit.
+func (b *breaker) record(addr netsim.Addr, err error) {
+	if b.o.cfg.DisableBreaker {
+		return
+	}
+	e := b.entry(addr)
+	failed := err != nil && breakerFailure(err)
+	switch e.state {
+	case BreakerClosed:
+		if !failed {
+			e.fails = 0
+			return
+		}
+		e.fails++
+		if e.fails >= b.o.cfg.BreakerThreshold {
+			b.open(addr, e)
+		}
+	case BreakerHalfOpen:
+		if failed {
+			// Failed probe: back to open with the cooldown doubled.
+			e.cooldown *= 2
+			if e.cooldown > b.o.cfg.BreakerCooldownCap {
+				e.cooldown = b.o.cfg.BreakerCooldownCap
+			}
+			b.open(addr, e)
+			return
+		}
+		// The endpoint recovered: admit traffic again from scratch.
+		e.fails = 0
+		e.cooldown = b.o.cfg.BreakerCooldown
+		b.transition(addr, e, BreakerClosed)
+	case BreakerOpen:
+		// A straggler outcome from before the circuit opened; the open
+		// timer already covers it.
+	}
+}
+
+// open moves the circuit to open, scheduling the next probe at
+// cooldown plus per-client jitter in [0, cooldown/4).
+func (b *breaker) open(addr netsim.Addr, e *breakerEntry) {
+	jitter := time.Duration(0)
+	if e.cooldown >= 4 {
+		jitter = time.Duration(b.o.jrand.Int63n(int64(e.cooldown / 4)))
+	}
+	e.until = b.o.ep.Kernel().Now() + sim.Time(e.cooldown+jitter)
+	b.transition(addr, e, BreakerOpen)
+}
+
+// errorsIsAny reports whether err matches any of targets.
+func errorsIsAny(err error, targets ...error) bool {
+	for _, t := range targets {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// BreakerState returns the circuit state for addr (closed if the
+// endpoint has never been invoked).
+func (o *ORB) BreakerState(addr netsim.Addr) BreakerState {
+	if e, ok := o.breaker.entries[addr]; ok {
+		return e.state
+	}
+	return BreakerClosed
+}
+
+// BreakerTransitions returns every circuit transition so far, in order.
+func (o *ORB) BreakerTransitions() []BreakerTransition {
+	return o.breaker.transitions
+}

@@ -59,10 +59,14 @@ func (e *forwardedError) Error() string {
 // retryable reports whether an attempt failure should trigger failover
 // to the next profile of a group reference. Timeouts mean the replica
 // (or the path to it) is dead; OBJECT_NOT_EXIST means the replica no
-// longer hosts the object. TRANSIENT and application exceptions are
-// delivered to the caller: the replica is alive and answered.
+// longer hosts the object; an overload shed or protocol error means
+// this replica cannot serve the request right now but another might.
+// ErrDeadlineExpired is NOT retryable — the budget is gone everywhere.
+// TRANSIENT and application exceptions are delivered to the caller: the
+// replica is alive and answered.
 func retryable(err error) bool {
-	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrObjectNotExist)
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrObjectNotExist) ||
+		errors.Is(err, ErrOverload) || errors.Is(err, ErrProtocol)
 }
 
 // invokeRouted routes one logical invocation: a single attempt for
@@ -93,7 +97,28 @@ func (o *ORB) invokeRouted(t *rtos.Thread, ref *ObjectRef, op string, body []byt
 	backoff := o.cfg.BackoffBase
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		// The end-to-end deadline bounds the whole failover loop, not
+		// just individual attempts: once it passes (e.g. burned by
+		// backoff sleeps), further retries can only deliver a late reply.
+		if info.Deadline > 0 && o.ep.Kernel().Now() > info.Deadline {
+			o.shedExpired(info, "failover")
+			return nil, ErrDeadlineExpired
+		}
 		p := profiles[attempt%len(profiles)]
+		if ref.Group != 0 && !o.breaker.allow(p.Addr) {
+			// This endpoint's circuit is open: route around it without
+			// burning an attempt timeout. If every profile is open the
+			// invocation fails fast instead of queueing onto known-sick
+			// replicas.
+			alt, ok := o.breakerAlternative(profiles, attempt)
+			if !ok {
+				if lastErr == nil {
+					lastErr = ErrOverload
+				}
+				return nil, fmt.Errorf("orb: group %d: all endpoints circuit-open: %w", ref.Group, lastErr)
+			}
+			p = alt
+		}
 		var fspan *trace.Span
 		if attempt > 0 {
 			// Capped exponential backoff with per-client jitter in
@@ -111,6 +136,9 @@ func (o *ORB) invokeRouted(t *rtos.Thread, ref *ObjectRef, op string, body []byt
 			}
 		}
 		reply, err := o.invokeProfile(t, p, op, body, prio, opts, timeout, info, extra)
+		if ref.Group != 0 {
+			o.breaker.record(p.Addr, err)
+		}
 		if fspan != nil {
 			if err != nil {
 				fspan.SetAttr(trace.String("error", err.Error()))
@@ -126,6 +154,18 @@ func (o *ORB) invokeRouted(t *rtos.Thread, ref *ObjectRef, op string, body []byt
 		}
 	}
 	return nil, fmt.Errorf("orb: group %d exhausted %d failover attempts: %w", ref.Group, maxAttempts, lastErr)
+}
+
+// breakerAlternative scans the profile list (starting after the refused
+// slot, wrapping once) for an endpoint whose circuit admits traffic.
+func (o *ORB) breakerAlternative(profiles []Profile, attempt int) (Profile, bool) {
+	for i := 1; i <= len(profiles); i++ {
+		p := profiles[(attempt+i)%len(profiles)]
+		if o.breaker.allow(p.Addr) {
+			return p, true
+		}
+	}
+	return Profile{}, false
 }
 
 // invokeProfile performs one attempt against one profile, transparently

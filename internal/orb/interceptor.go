@@ -29,6 +29,11 @@ type ClientRequestInfo struct {
 	Oneway bool
 	// SentAt is the virtual time the request entered the ORB.
 	SentAt sim.Time
+	// Deadline is the absolute virtual time after which the reply is
+	// worthless (zero when the caller set no deadline). It is carried to
+	// the server in the ServiceDeadline GIOP context and enforced at
+	// every layer of the invocation path.
+	Deadline sim.Time
 	// Thread is the invoking thread. Interceptors that keep per-caller
 	// state (like the tracer's active-span chain) key on it.
 	Thread *rtos.Thread

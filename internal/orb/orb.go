@@ -38,6 +38,20 @@ var (
 	ErrObjectNotExist = errors.New("orb: OBJECT_NOT_EXIST")
 	// ErrTransient means the server refused the request (full lane queue).
 	ErrTransient = errors.New("orb: TRANSIENT")
+	// ErrOverload means the server deliberately shed the request under
+	// load (admission refusal or queue eviction) — the replica is alive
+	// and protecting itself, which is a different failure from a crash
+	// timeout and is what the circuit breaker counts.
+	ErrOverload = errors.New("orb: server overloaded (request shed)")
+	// ErrDeadlineExpired means the invocation's end-to-end deadline
+	// passed before a reply was produced — at the client before sending,
+	// in a server lane queue, or while waiting for the reply. Retrying
+	// is pointless: the result would be too late anyway.
+	ErrDeadlineExpired = errors.New("orb: deadline expired")
+	// ErrProtocol means the peer answered with a GIOP MessageError or
+	// the reply stream was undecodable (e.g. corrupted on the wire). The
+	// request may or may not have executed.
+	ErrProtocol = errors.New("orb: GIOP protocol error")
 )
 
 // SystemException is a CORBA system exception returned by a servant.
@@ -92,6 +106,18 @@ type Config struct {
 	// cap, jittered per client). Default 10ms base, 160ms cap.
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
+	// BreakerThreshold is the number of consecutive classified failures
+	// (overload replies, deadline misses, crash timeouts) to one
+	// endpoint before its circuit opens. Defaults to 4.
+	BreakerThreshold int
+	// BreakerCooldown is the initial open interval before a half-open
+	// probe is allowed; it doubles on each failed probe up to
+	// BreakerCooldownCap. Defaults 250ms / 2s.
+	BreakerCooldown    time.Duration
+	BreakerCooldownCap time.Duration
+	// DisableBreaker turns circuit breaking off (every endpoint always
+	// admits traffic), isolating the failover path for measurement.
+	DisableBreaker bool
 }
 
 func (c *Config) defaults() {
@@ -115,6 +141,15 @@ func (c *Config) defaults() {
 	}
 	if c.BackoffCap == 0 {
 		c.BackoffCap = 160 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 4
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
+	}
+	if c.BreakerCooldownCap == 0 {
+		c.BreakerCooldownCap = 2 * time.Second
 	}
 }
 
@@ -142,6 +177,7 @@ type ORB struct {
 	clientID uint64
 	ftSeq    uint32
 	jrand    *rand.Rand
+	breaker  *breaker
 
 	// Server-side duplicate suppression: completed (and in-progress)
 	// executions keyed by FT request context, so a retried request is
@@ -169,8 +205,10 @@ type clientConn struct {
 
 type pendingCall struct {
 	sig    *sim.Signal
+	conn   *clientConn
 	reply  *giop.Reply
 	locate *giop.LocateReply
+	err    error // set instead of reply on a connection-level failure
 }
 
 // New creates an ORB for host attached to network node. The ORB starts
@@ -197,6 +235,7 @@ func New(name string, host *rtos.Host, net *netsim.Network, node *netsim.Node, c
 		jrand:     rand.New(rand.NewSource(int64(cid))),
 		ftReplies: make(map[ftKey]*ftEntry),
 	}
+	o.breaker = newBreaker(o)
 	o.lis = o.ep.Listen(cfg.ListenPort)
 	host.Spawn(name+"-acceptor", cfg.IOPriority, o.acceptLoop)
 	return o
@@ -312,6 +351,10 @@ func (o *ORB) clientReader(c *clientConn, t *rtos.Thread) {
 		t.Compute(o.msgCost(len(m.Data)))
 		msg, err := giop.Decode(m.Data)
 		if err != nil {
+			// The reply stream is carrying bytes that do not parse as
+			// GIOP — corruption in transit. The reply they carried (if
+			// any) is lost; waiting callers must not hang for it.
+			o.failPendingOn(c, fmt.Errorf("%w: undecodable reply: %v", ErrProtocol, err))
 			continue
 		}
 		switch rep := msg.(type) {
@@ -327,9 +370,37 @@ func (o *ORB) clientReader(c *clientConn, t *rtos.Thread) {
 				pc.locate = rep
 				pc.sig.Broadcast()
 			}
+		case *giop.MessageError:
+			// The peer could not parse something we sent (a corrupted
+			// request). It has no request id to report, so every call in
+			// flight on this connection is in doubt.
+			o.failPendingOn(c, fmt.Errorf("%w: peer sent MessageError", ErrProtocol))
 		case *giop.CloseConnection:
 			return
 		}
+	}
+}
+
+// failPendingOn fails every pending call issued on connection c with err.
+// Request ids are processed in ascending order so wakeups are scheduled
+// deterministically.
+func (o *ORB) failPendingOn(c *clientConn, err error) {
+	var ids []uint32
+	for id, pc := range o.pending {
+		if pc.conn == c {
+			ids = append(ids, id)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		pc := o.pending[id]
+		delete(o.pending, id)
+		pc.err = err
+		pc.sig.Broadcast()
 	}
 }
 
@@ -342,6 +413,13 @@ type InvokeOptions struct {
 	// Priority overrides the calling thread's CORBA priority for this
 	// invocation. Negative means "use the thread's priority".
 	Priority rtcorba.Priority
+	// Deadline is the invocation's end-to-end budget (RT-CORBA
+	// RELATIVE_RT_TIMEOUT): the reply is worthless after now+Deadline.
+	// The absolute expiry travels with the request in a GIOP service
+	// context, so every layer — client stub, server lane queue, servant
+	// dispatch — can shed the work once it cannot possibly meet it.
+	// Zero means no deadline.
+	Deadline time.Duration
 }
 
 // Invoke performs a synchronous CORBA invocation of op on ref from
@@ -377,6 +455,9 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 		SentAt:   o.ep.Kernel().Now(),
 		Thread:   t,
 	}
+	if opts.Deadline > 0 {
+		info.Deadline = info.SentAt + sim.Time(opts.Deadline)
+	}
 	o.interceptSend(info)
 	prio = info.Priority
 
@@ -392,8 +473,15 @@ func (o *ORB) InvokeOpt(t *rtos.Thread, ref *ObjectRef, op string, body []byte, 
 // request/reply exchange. A LOCATION_FORWARD outcome is returned as a
 // *forwardedError for the caller to follow.
 func (o *ORB) invokeOnce(t *rtos.Thread, p Profile, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions, timeout time.Duration, info *ClientRequestInfo, extra []giop.ServiceContext) ([]byte, error) {
+	// Shed before spending anything: if the deadline already passed
+	// (e.g. burned by failover backoff), marshalling and sending would
+	// only waste CPU and bandwidth on a reply nobody can use.
+	if info.Deadline > 0 && o.ep.Kernel().Now() > info.Deadline {
+		o.shedExpired(info, "client")
+		return nil, ErrDeadlineExpired
+	}
 	if !o.cfg.DisableCollocation && p.Addr == o.Addr() {
-		return o.invokeCollocated(t, p.Key, op, body, prio, opts, timeout, info.TraceCtx)
+		return o.invokeCollocated(t, p.Key, op, body, prio, opts, timeout, info)
 	}
 	o.reqSeq++
 	reqID := o.reqSeq
@@ -402,6 +490,9 @@ func (o *ORB) invokeOnce(t *rtos.Thread, p Profile, op string, body []byte, prio
 	contexts := []giop.ServiceContext{
 		giop.PriorityContext(int16(prio), o.cfg.ByteOrder),
 		giop.TimestampContext(int64(o.ep.Kernel().Now()), o.cfg.ByteOrder),
+	}
+	if info.Deadline > 0 {
+		contexts = append(contexts, giop.DeadlineContext(int64(info.Deadline), o.cfg.ByteOrder))
 	}
 	contexts = append(contexts, info.ExtraContexts...)
 	contexts = append(contexts, extra...)
@@ -428,7 +519,7 @@ func (o *ORB) invokeOnce(t *rtos.Thread, p Profile, op string, body []byte, prio
 	conn := o.connFor(p.Addr, prio)
 	var pc *pendingCall
 	if !opts.Oneway {
-		pc = &pendingCall{sig: sim.NewSignal()}
+		pc = &pendingCall{sig: sim.NewSignal(), conn: conn}
 		o.pending[reqID] = pc
 	}
 	// Blocking write: under congestion the client experiences socket-
@@ -438,16 +529,37 @@ func (o *ORB) invokeOnce(t *rtos.Thread, p Profile, op string, body []byte, prio
 		return nil, nil
 	}
 
-	if timeout > 0 {
+	// The reply wait is bounded by both the per-attempt timeout and the
+	// remaining deadline budget — whichever is tighter. A deadline-bound
+	// expiry is a deadline miss, not a crash timeout.
+	deadlineBound := false
+	if info.Deadline > 0 {
+		remain := time.Duration(info.Deadline - o.ep.Kernel().Now())
+		if remain < 0 {
+			remain = 0
+		}
+		if timeout <= 0 || remain < timeout {
+			timeout = remain
+			deadlineBound = true
+		}
+	}
+	if timeout > 0 || deadlineBound {
 		if !pc.sig.WaitTimeout(t.Proc(), timeout) {
 			delete(o.pending, reqID)
 			// Tell the server to abandon the request if still queued.
 			cancel := (&giop.CancelRequest{RequestID: reqID}).Marshal(o.cfg.ByteOrder)
 			conn.stream.Send(&transport.Message{Data: cancel})
+			if deadlineBound {
+				o.shedExpired(info, "client")
+				return nil, ErrDeadlineExpired
+			}
 			return nil, ErrTimeout
 		}
 	} else {
 		pc.sig.Wait(t.Proc())
+	}
+	if pc.err != nil {
+		return nil, pc.err
 	}
 	rep := pc.reply
 	// Demarshalling the reply consumes client CPU.
@@ -474,6 +586,17 @@ func (o *ORB) invokeOnce(t *rtos.Thread, p Profile, op string, body []byte, prio
 	default:
 		return nil, fmt.Errorf("orb: unsupported reply status %v", rep.Status)
 	}
+}
+
+// shedExpired emits the zero-length deadline_expired span that marks
+// where on the invocation path an expired request was dropped.
+func (o *ORB) shedExpired(info *ClientRequestInfo, where string) {
+	if o.tracer == nil || !info.TraceCtx.Valid() {
+		return
+	}
+	s := o.tracer.StartChild(info.TraceCtx, "deadline_expired", trace.LayerOverload)
+	s.SetAttr(trace.String("at", where), trace.Dur("deadline", info.Deadline))
+	s.Finish()
 }
 
 // Locate performs a GIOP LocateRequest: it reports whether the target
@@ -529,7 +652,8 @@ func (o *ORB) resolveKey(key []byte) (*POA, Servant, bool) {
 // thread pool — priority semantics (the priority model, lane selection,
 // native priority at dispatch) are fully preserved, as TAO's collocated
 // stubs preserve them.
-func (o *ORB) invokeCollocated(t *rtos.Thread, key []byte, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions, timeout time.Duration, tctx trace.SpanContext) ([]byte, error) {
+func (o *ORB) invokeCollocated(t *rtos.Thread, key []byte, op string, body []byte, prio rtcorba.Priority, opts InvokeOptions, timeout time.Duration, info *ClientRequestInfo) ([]byte, error) {
+	tctx := info.TraceCtx
 	o.requestsSent++
 	poaName, objID, ok := strings.Cut(string(key), "/")
 	if !ok {
@@ -556,6 +680,17 @@ func (o *ORB) invokeCollocated(t *rtos.Thread, key []byte, op string, body []byt
 	work := rtcorba.Work{
 		Priority: prio,
 		Ctx:      tctx,
+		Deadline: info.Deadline,
+		Shed: func(r rtcorba.ShedReason) {
+			// The pool dropped the queued dispatch; unblock the caller
+			// with the classified outcome instead of letting it time out.
+			if r == rtcorba.ShedDeadline {
+				dispatchErr = ErrDeadlineExpired
+			} else {
+				dispatchErr = fmt.Errorf("%w (collocated, evicted)", ErrOverload)
+			}
+			done.Broadcast()
+		},
 		Fn: func(pt *rtos.Thread) {
 			sreq := &ServerRequest{
 				Op:       op,
@@ -577,7 +712,7 @@ func (o *ORB) invokeCollocated(t *rtos.Thread, key []byte, op string, body []byt
 		},
 	}
 	if !poa.pool.Dispatch(work) {
-		return nil, fmt.Errorf("%w (collocated, lane queue full)", ErrTransient)
+		return nil, fmt.Errorf("%w (collocated, lane refused)", ErrOverload)
 	}
 	if opts.Oneway {
 		return nil, nil
@@ -609,7 +744,17 @@ func decodeSystemException(rep *giop.Reply, order cdr.ByteOrder) error {
 	case "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0":
 		return fmt.Errorf("%w (minor %d)", ErrObjectNotExist, minor)
 	case "IDL:omg.org/CORBA/TRANSIENT:1.0":
+		// Minor ≥ 2 marks a deliberate overload shed (admission refusal
+		// or queue eviction) — the replica is alive, distinguishing it
+		// from both crash timeouts and legacy minor-1 lane-full replies.
+		if minor >= 2 {
+			return fmt.Errorf("%w (minor %d)", ErrOverload, minor)
+		}
 		return fmt.Errorf("%w (minor %d)", ErrTransient, minor)
+	case "IDL:omg.org/CORBA/TIMEOUT:1.0":
+		// The server shed the request because its end-to-end deadline
+		// expired before (or during) dispatch.
+		return fmt.Errorf("%w (server, minor %d)", ErrDeadlineExpired, minor)
 	default:
 		return &SystemException{ID: id, Minor: minor}
 	}

@@ -319,10 +319,38 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 			sentAt = sim.Time(v)
 		}
 	}
+	var deadline sim.Time
+	if data, found := giop.FindContext(req.ServiceContexts, giop.ServiceDeadline); found {
+		if v, err := giop.ParseDeadlineContext(data); err == nil {
+			deadline = sim.Time(v)
+		}
+	}
+	// Expired on arrival (it spent its budget on the wire or in socket
+	// buffers): shed it here rather than waste a lane slot on it.
+	if deadline > 0 && o.ep.Kernel().Now() > deadline {
+		if o.tracer != nil && tctx.Valid() {
+			s := o.tracer.StartChild(tctx, "deadline_expired", trace.LayerOverload)
+			s.SetAttr(trace.String("at", "server"), trace.Dur("deadline", deadline))
+			s.Finish()
+		}
+		reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/TIMEOUT:1.0", 1, o.cfg.ByteOrder))
+		return
+	}
 
 	work := rtcorba.Work{
 		Priority: prio,
 		Ctx:      tctx,
+		Deadline: deadline,
+		Shed: func(r rtcorba.ShedReason) {
+			// The pool dropped the request (deadline expired while
+			// queued, or evicted for a higher-priority arrival). Tell
+			// the client which, so it can classify the failure.
+			if r == rtcorba.ShedDeadline {
+				reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/TIMEOUT:1.0", 2, o.cfg.ByteOrder))
+			} else {
+				reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/TRANSIENT:1.0", 2, o.cfg.ByteOrder))
+			}
+		},
 		Fn: func(t *rtos.Thread) {
 			if cancelled[req.RequestID] {
 				delete(cancelled, req.RequestID)
@@ -393,6 +421,11 @@ func (o *ORB) dispatchRequest(conn *transport.StreamConn, req *giop.Request, can
 		},
 	}
 	if !poa.pool.Dispatch(work) {
-		reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/TRANSIENT:1.0", 1, o.cfg.ByteOrder))
+		// Admission control refused the request (watermark hit, or the
+		// lane is full and this arrival would not win an eviction).
+		// Minor 2 distinguishes the deliberate shed from legacy
+		// lane-full TRANSIENT replies, so clients classify it as
+		// overload rather than a transient glitch.
+		reply(giop.StatusSystemException, encodeSystemException("IDL:omg.org/CORBA/TRANSIENT:1.0", 2, o.cfg.ByteOrder))
 	}
 }

@@ -6,7 +6,33 @@ import (
 	"repro/internal/rtos"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/trace/telemetry"
 )
+
+// ShedReason classifies why the pool discarded a work item instead of
+// executing it.
+type ShedReason int
+
+const (
+	// ShedEvicted means a full lane evicted this (lowest-priority) item
+	// to admit a higher-priority arrival.
+	ShedEvicted ShedReason = iota + 1
+	// ShedDeadline means the item's end-to-end deadline had already
+	// expired when a lane thread dequeued it: executing it would waste
+	// CPU on a reply the client no longer wants.
+	ShedDeadline
+)
+
+func (r ShedReason) String() string {
+	switch r {
+	case ShedEvicted:
+		return "evicted"
+	case ShedDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("ShedReason(%d)", int(r))
+	}
+}
 
 // Work is a unit dispatched onto a pool thread. The thread's native
 // priority has already been set according to the priority model when fn
@@ -20,6 +46,15 @@ type Work struct {
 	// this work item (the enqueue-to-dequeue delay) when a tracer is
 	// installed.
 	Ctx trace.SpanContext
+	// Deadline, when non-zero, is the absolute expiry instant of the
+	// request's end-to-end deadline. A lane thread that dequeues the
+	// item after this instant sheds it instead of running Fn.
+	Deadline sim.Time
+	// Shed, when non-nil, runs instead of Fn if the pool discards the
+	// item (eviction by a higher-priority arrival, or deadline expiry at
+	// dequeue). Servers use it to answer the client with an overload or
+	// timeout reply so the caller can tell shedding from a crash.
+	Shed func(reason ShedReason)
 
 	qspan *trace.Span
 }
@@ -35,31 +70,55 @@ type LaneConfig struct {
 	// QueueLimit bounds buffered requests per lane (an RT-CORBA memory
 	// resource control). 0 means unbounded.
 	QueueLimit int
+	// HighWatermark, when positive, enables admission control before the
+	// hard limit: once the lane buffers this many requests, a new
+	// arrival is admitted only if its priority strictly exceeds that of
+	// some already-queued request (i.e. it would win an eviction). The
+	// effect is that a sustained flood of equal-priority work stabilises
+	// at the watermark with bounded queueing delay instead of filling
+	// the queue to the limit. Must not exceed QueueLimit when both are
+	// set.
+	HighWatermark int
 }
 
 // ThreadPool is an RT-CORBA thread pool with priority lanes: requests are
 // dispatched to the lane whose priority is the highest not exceeding the
 // request's priority, so high-priority requests never queue behind
-// low-priority ones.
+// low-priority ones. Bounded lanes shed load priority-aware: a
+// high-priority arrival at a full lane evicts the lowest-priority queued
+// item rather than being refused, and items whose end-to-end deadline
+// has already expired are discarded at dequeue.
 type ThreadPool struct {
 	host   *rtos.Host
 	mm     *MappingManager
 	lanes  []*lane
 	tracer *trace.Tracer
+	reg    *telemetry.Registry
 }
 
 // SetTracer enables lane-queue spans for work items carrying a trace
 // context. A nil tracer disables them.
 func (tp *ThreadPool) SetTracer(tr *trace.Tracer) { tp.tracer = tr }
 
+// SetTelemetry publishes per-lane shed and refusal counters into reg
+// (pool.shed{lane,reason} and pool.refused{lane}). A nil registry
+// disables them.
+func (tp *ThreadPool) SetTelemetry(reg *telemetry.Registry) { tp.reg = reg }
+
 type lane struct {
-	cfg     LaneConfig
-	native  rtos.Priority
-	queue   *sim.Queue[Work]
-	threads []*rtos.Thread
-	served  int64
-	refused int64
+	cfg          LaneConfig
+	native       rtos.Priority
+	queue        *sim.Queue[Work]
+	threads      []*rtos.Thread
+	served       int64
+	refused      int64
+	shedEvicted  int64
+	shedDeadline int64
 }
+
+// lowerPriority orders work items for eviction: strictly by CORBA
+// priority, with ties resolving to the earliest-queued item (FIFO).
+func lowerPriority(a, b Work) bool { return a.Priority < b.Priority }
 
 // NewThreadPool creates a pool on host with the given lanes, which must
 // be sorted by ascending priority and non-empty. Threads start
@@ -77,6 +136,10 @@ func NewThreadPool(host *rtos.Host, mm *MappingManager, lanes ...LaneConfig) (*T
 		prev = cfg.Priority
 		if cfg.Threads < 1 {
 			return nil, fmt.Errorf("rtcorba: lane at priority %d has no threads", cfg.Priority)
+		}
+		if cfg.HighWatermark < 0 || (cfg.QueueLimit > 0 && cfg.HighWatermark > cfg.QueueLimit) {
+			return nil, fmt.Errorf("rtcorba: lane at priority %d has watermark %d outside [0,%d]",
+				cfg.Priority, cfg.HighWatermark, cfg.QueueLimit)
 		}
 		native, ok := mm.ToNative(cfg.Priority, host.Priorities())
 		if !ok {
@@ -111,6 +174,12 @@ func NewSingleLanePool(host *rtos.Host, mm *MappingManager, prio Priority, threa
 func (tp *ThreadPool) laneWorker(ln *lane, t *rtos.Thread) {
 	for {
 		w := ln.queue.Get(t.Proc())
+		// Check the remaining deadline budget before spending CPU: a
+		// request that already expired in the queue is shed, not served.
+		if w.Deadline > 0 && t.Now() > w.Deadline {
+			tp.shed(ln, w, ShedDeadline)
+			continue
+		}
 		if w.qspan != nil {
 			// The queueing delay ends the moment a lane thread picks the
 			// work up; execution is traced by the dispatch span above.
@@ -130,8 +199,41 @@ func (tp *ThreadPool) laneWorker(ln *lane, t *rtos.Thread) {
 	}
 }
 
+// shed records and reports the discard of a queued work item.
+func (tp *ThreadPool) shed(ln *lane, w Work, reason ShedReason) {
+	switch reason {
+	case ShedEvicted:
+		ln.shedEvicted++
+	case ShedDeadline:
+		ln.shedDeadline++
+	}
+	if w.qspan != nil {
+		if reason == ShedDeadline {
+			w.qspan.Event("deadline_expired")
+		} else {
+			w.qspan.Event("shed", trace.String("reason", reason.String()))
+		}
+		w.qspan.Finish()
+	} else if tp.tracer != nil && w.Ctx.Valid() && reason == ShedDeadline {
+		s := tp.tracer.StartChild(w.Ctx, "deadline_expired", trace.LayerOverload)
+		s.Finish()
+	}
+	if tp.reg != nil {
+		tp.reg.Counter("pool.shed",
+			telemetry.L("lane", fmt.Sprint(ln.cfg.Priority)),
+			telemetry.L("reason", reason.String())).Inc()
+	}
+	if w.Shed != nil {
+		w.Shed(reason)
+	}
+}
+
 // Dispatch queues work onto the lane matching its priority. It reports
-// false if the lane's queue is full (the RT-CORBA TRANSIENT condition).
+// false if the lane refused the work — the queue is at its hard limit
+// with no lower-priority victim to evict, or at its high watermark and
+// the work would not win an eviction (the RT-CORBA TRANSIENT condition).
+// Work admitted by evicting a queued item triggers the victim's Shed
+// callback.
 func (tp *ThreadPool) Dispatch(w Work) bool {
 	ln := tp.laneFor(w.Priority)
 	if tp.tracer != nil && w.Ctx.Valid() {
@@ -141,15 +243,41 @@ func (tp *ThreadPool) Dispatch(w Work) bool {
 			trace.Int("depth", int64(ln.queue.Len())),
 		)
 	}
-	if !ln.queue.Put(w) {
-		ln.refused++
-		if w.qspan != nil {
-			w.qspan.Event("refused")
-			w.qspan.Finish()
+	// Admission control above the high watermark: only work that
+	// dominates something already queued gets in, so a flood of
+	// equal-priority requests stabilises at the watermark.
+	if ln.cfg.HighWatermark > 0 && ln.queue.Len() >= ln.cfg.HighWatermark {
+		if min, ok := ln.queue.Min(lowerPriority); !ok || w.Priority <= min.Priority {
+			return tp.refuse(ln, w)
 		}
-		return false
 	}
-	return true
+	if ln.queue.Put(w) {
+		return true
+	}
+	// Hard limit reached: reject-lowest-first. Evict the lowest-priority
+	// queued item if the arrival outranks it; otherwise refuse the
+	// arrival itself.
+	if min, ok := ln.queue.Min(lowerPriority); ok && min.Priority < w.Priority {
+		if victim, ok := ln.queue.EvictMin(lowerPriority); ok {
+			tp.shed(ln, victim, ShedEvicted)
+			if ln.queue.Put(w) {
+				return true
+			}
+		}
+	}
+	return tp.refuse(ln, w)
+}
+
+func (tp *ThreadPool) refuse(ln *lane, w Work) bool {
+	ln.refused++
+	if w.qspan != nil {
+		w.qspan.Event("refused")
+		w.qspan.Finish()
+	}
+	if tp.reg != nil {
+		tp.reg.Counter("pool.refused", telemetry.L("lane", fmt.Sprint(ln.cfg.Priority))).Inc()
+	}
+	return false
 }
 
 // laneFor returns the highest lane whose priority does not exceed p, or
@@ -170,9 +298,23 @@ func (tp *ThreadPool) Lanes() int { return len(tp.lanes) }
 // Served returns the number of completed dispatches in lane i.
 func (tp *ThreadPool) Served(i int) int64 { return tp.lanes[i].served }
 
-// Refused returns the number of dispatches refused by lane i's bounded
-// queue.
+// Refused returns the number of dispatches refused by lane i (hard
+// queue limit with no evictable victim, or watermark admission control).
 func (tp *ThreadPool) Refused(i int) int64 { return tp.lanes[i].refused }
+
+// ShedEvicted returns the number of queued items lane i evicted to admit
+// higher-priority arrivals.
+func (tp *ThreadPool) ShedEvicted(i int) int64 { return tp.lanes[i].shedEvicted }
+
+// ShedDeadline returns the number of items lane i discarded at dequeue
+// because their end-to-end deadline had expired.
+func (tp *ThreadPool) ShedDeadline(i int) int64 { return tp.lanes[i].shedDeadline }
+
+// Shed returns the total number of work items lane i discarded after
+// admission (evictions plus deadline sheds).
+func (tp *ThreadPool) Shed(i int) int64 {
+	return tp.lanes[i].shedEvicted + tp.lanes[i].shedDeadline
+}
 
 // QueueDepth returns the number of requests buffered in lane i.
 func (tp *ThreadPool) QueueDepth(i int) int { return tp.lanes[i].queue.Len() }

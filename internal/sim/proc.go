@@ -270,3 +270,39 @@ func (q *Queue[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
 
 // Len reports the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Min returns the least queued item under less without removing it.
+// Ties resolve to the earliest-queued item, so repeated calls with the
+// same ordering are deterministic.
+func (q *Queue[T]) Min(less func(a, b T) bool) (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	best := 0
+	for i := 1; i < len(q.items); i++ {
+		if less(q.items[i], q.items[best]) {
+			best = i
+		}
+	}
+	return q.items[best], true
+}
+
+// EvictMin removes and returns the least queued item under less (earliest
+// queued on ties) — the primitive behind reject-lowest-first load
+// shedding in bounded queues.
+func (q *Queue[T]) EvictMin(less func(a, b T) bool) (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	best := 0
+	for i := 1; i < len(q.items); i++ {
+		if less(q.items[i], q.items[best]) {
+			best = i
+		}
+	}
+	v := q.items[best]
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	return v, true
+}

@@ -33,6 +33,10 @@ const (
 	LayerAVStreams = "avstreams"
 	LayerApp       = "app"
 	LayerFT        = "ft"
+	// LayerOverload tags spans emitted by the overload-protection
+	// machinery: deadline sheds, admission refusals, and circuit-breaker
+	// transitions.
+	LayerOverload = "overload"
 )
 
 // TraceID identifies one causally-related span tree.

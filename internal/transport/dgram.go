@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/netsim"
@@ -37,17 +38,39 @@ type reasmKey struct {
 }
 
 type reasmBuf struct {
-	frags    int
+	seen     []bool // per-fragment arrival bitmap: duplicates must not double-count
+	got      int
 	expected int
 	msg      *Message
 	deadline sim.Time
 }
+
+// reasmLimit bounds concurrently reassembling messages per socket, so a
+// flood of never-completing fragment trains cannot grow state unboundedly.
+const reasmLimit = 256
 
 type fragment struct {
 	msgID   uint64
 	idx     int
 	count   int
 	payload *Message
+}
+
+// CorruptCopy implements netsim.Corrupter. Fragments carrying real bytes
+// are delivered with one bit flipped in a copied payload; fragments of
+// simulated objects (video frames, whose integrity a real receiver
+// checks) are destroyed instead (nil).
+func (f *fragment) CorruptCopy(r *rand.Rand) any {
+	if f.payload == nil || len(f.payload.Data) == 0 {
+		return nil
+	}
+	msg := *f.payload
+	msg.Data = append([]byte(nil), f.payload.Data...)
+	bit := r.Intn(len(msg.Data) * 8)
+	msg.Data[bit/8] ^= 1 << (bit % 8)
+	cp := *f
+	cp.payload = &msg
+	return &cp
 }
 
 // OpenDgram binds a datagram socket on port. The flow id labels all
@@ -109,13 +132,14 @@ func (c *DgramConn) Send(dst netsim.Addr, m *Message) {
 			chunk = size - maxPayload*(count-1)
 		}
 		c.ep.node.Send(&netsim.Packet{
-			Src:     c.LocalAddr(),
-			Dst:     dst,
-			Size:    chunk + headerBytes,
-			DSCP:    c.dscp,
-			Flow:    c.flow,
-			Ctx:     m.Ctx,
-			Payload: &fragment{msgID: c.msgID, idx: i, count: count, payload: m},
+			Src:      c.LocalAddr(),
+			Dst:      dst,
+			Size:     chunk + headerBytes,
+			DSCP:     c.dscp,
+			Flow:     c.flow,
+			Deadline: m.Deadline,
+			Ctx:      m.Ctx,
+			Payload:  &fragment{msgID: c.msgID, idx: i, count: count, payload: m},
 		})
 	}
 }
@@ -147,6 +171,11 @@ func (c *DgramConn) onPacket(p *netsim.Packet) {
 	if !ok {
 		return
 	}
+	// A malformed header (e.g. hit by injected corruption) must be
+	// ignored, not indexed with.
+	if frag.count <= 0 || frag.idx < 0 || frag.idx >= frag.count {
+		return
+	}
 	now := c.ep.Kernel().Now()
 	c.expireReassembly(now)
 	if frag.count == 1 {
@@ -156,12 +185,23 @@ func (c *DgramConn) onPacket(p *netsim.Packet) {
 	key := reasmKey{from: p.Src, msgID: frag.msgID}
 	buf, ok := c.reasm[key]
 	if !ok {
-		buf = &reasmBuf{expected: frag.count, msg: frag.payload}
+		if len(c.reasm) >= reasmLimit {
+			c.lostMsgs++
+			return
+		}
+		buf = &reasmBuf{expected: frag.count, seen: make([]bool, frag.count), msg: frag.payload}
 		c.reasm[key] = buf
 	}
-	buf.frags++
+	// Fragments disagreeing with the train's shape, and duplicated
+	// fragments, must not advance reassembly: a message completes only
+	// when every distinct index has arrived.
+	if frag.count != buf.expected || buf.seen[frag.idx] {
+		return
+	}
+	buf.seen[frag.idx] = true
+	buf.got++
 	buf.deadline = now + c.ReassemblyTimeout
-	if buf.frags >= buf.expected {
+	if buf.got >= buf.expected {
 		delete(c.reasm, key)
 		c.deliver(p.Src, buf.msg)
 	}

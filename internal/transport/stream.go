@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/netsim"
@@ -27,6 +28,25 @@ type segment struct {
 	last  bool // final segment of its message
 	msg   *Message
 	size  int // payload bytes this segment represents
+}
+
+// CorruptCopy implements netsim.Corrupter: injected corruption flips one
+// payload bit in a copy of the carried message. Header fields (seq/ack)
+// are protocol-checksummed on a real wire, so corruption there — and on
+// pure acks or byteless payloads — destroys the packet instead (nil).
+// The copy shares nothing mutable with the original, which may still be
+// queued for go-back-N retransmission.
+func (s *segment) CorruptCopy(r *rand.Rand) any {
+	if s.isAck || s.msg == nil || len(s.msg.Data) == 0 {
+		return nil
+	}
+	msg := *s.msg
+	msg.Data = append([]byte(nil), s.msg.Data...)
+	bit := r.Intn(len(msg.Data) * 8)
+	msg.Data[bit/8] ^= 1 << (bit % 8)
+	cp := *s
+	cp.msg = &msg
+	return &cp
 }
 
 // StreamConn is a reliable, in-order message channel over the simulated

@@ -46,6 +46,12 @@ type Message struct {
 	Data    []byte
 	Payload any
 	Size    int
+	// Deadline, when non-zero, is the absolute virtual time after which
+	// the message is worthless. Datagram sends stamp it onto every
+	// fragment so the network sheds expired packets in transit; the
+	// reliable stream ignores it (dropping a stream segment would only
+	// trigger a retransmission of the same late data).
+	Deadline sim.Time
 	// Ctx, when valid, is the trace span this message belongs to; the
 	// transports copy it onto every packet so the network layer can
 	// record per-hop transit spans under the right parent.
