@@ -1,0 +1,120 @@
+// Command qosmon runs the monitoring-plane scenario and renders its
+// dashboard: the sampled client round-trip time series (the per-window
+// view the paper's Figures 4-7 plot), the per-layer critical-path
+// latency breakdown of an exemplar invocation, the QuO contract's
+// region timeline, and the unified event timeline merging region
+// transitions, alert rule firings, breaker activity, and failovers.
+//
+// Every region transition in the scenario is driven by a MEASURED
+// condition: the application records round-trips into a telemetry
+// histogram, the sampler turns the histogram into windows, and the
+// contract's system conditions read the sampled series — the paper's
+// system-condition-object loop closed through the monitoring plane.
+//
+// Usage:
+//
+//	qosmon [-seed N] [-dur D] [-prom] [-http ADDR]
+//
+// -prom appends the full Prometheus text exposition of the telemetry
+// registry; -http serves it (plus /debug/pprof) after the run. Output
+// is deterministic: repeated runs with the same flags are
+// byte-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/trace/telemetry"
+)
+
+type options struct {
+	seed int64
+	dur  time.Duration
+	prom bool
+}
+
+// run executes the scenario and returns the full dashboard as a string
+// plus the populated telemetry registry (for -http serving).
+func run(opt options) (string, *telemetry.Registry) {
+	r := experiments.RunMonitor(experiments.Options{Seed: opt.seed, Duration: opt.dur})
+	end := sim.Time(r.Duration) + sim.Time(r.Every)
+
+	out := fmt.Sprintf("qosmon: live QoS monitoring plane (seed %d, %v virtual, sampling every %v)\n",
+		opt.seed, r.Duration, r.Every)
+	out += fmt.Sprintf("flood: raw best-effort datagrams in [%v, %v) against the server's 8 Mb/s access link\n\n",
+		r.LoadStart, r.LoadEnd)
+
+	out += r.RTT.RenderTable("Sampled client RTT (app.rtt_ms windows, ms)").Render()
+	out += fmt.Sprintf("p95 per window: %s\n\n", r.RTT.Sparkline(monitor.StatP95))
+
+	tb := metrics.NewTable(fmt.Sprintf("Critical-path latency breakdown (exemplar trace %d)", r.ExemplarTrace),
+		"Layer", "Time", "Share")
+	var sum time.Duration
+	for _, sh := range r.Breakdown {
+		sum += time.Duration(sh.Time)
+		tb.AddRow(sh.Layer, time.Duration(sh.Time).String(),
+			fmt.Sprintf("%.1f%%", 100*time.Duration(sh.Time).Seconds()/time.Duration(r.BreakdownTotal).Seconds()))
+	}
+	out += tb.Render()
+	out += fmt.Sprintf("layer sum = %v, end-to-end = %v\n\n", sum, time.Duration(r.BreakdownTotal))
+
+	out += "contract region timeline (every transition measurement-driven):\n"
+	for _, s := range r.Regions {
+		out += fmt.Sprintf("%12v  %-10s %v\n", time.Duration(s.Start), s.Region, s.DurationAt(end))
+	}
+	out += "\nunified event timeline (region / alert / breaker / failover):\n"
+	out += r.Timeline.Render(events.KindRegion, events.KindAlert, events.KindBreaker, events.KindFailover)
+	out += "\nevent counts by kind:\n"
+	out += r.Timeline.RenderCounts()
+
+	out += "\nclosed-loop summary:\n"
+	out += fmt.Sprintf("  client invocations             %d sent, %d ok, %d deadline-expired, %d failed\n",
+		r.Sent, r.OK, r.Deadline, r.Failed)
+	out += fmt.Sprintf("  flood offered                  %d datagrams\n", r.BulkOffer)
+	out += fmt.Sprintf("  qosket actions                 %d escalation(s) to the EF band, %d de-escalation(s)\n",
+		r.Escalate, r.Deescalate)
+	for _, reg := range []string{"normal", "degraded", "protected"} {
+		out += fmt.Sprintf("  time in %-22s %v\n", reg, r.TimeIn[reg])
+	}
+	driven := "NO"
+	if r.Escalate > 0 && r.Transitions >= 3 {
+		driven = "yes"
+	}
+	out += fmt.Sprintf("  transitions from sampled data  %s (%d region transitions, conditions read only sampled series)\n",
+		driven, r.Transitions)
+
+	if opt.prom {
+		out += "\n/metrics exposition:\n"
+		out += monitor.RenderProm(r.Reg)
+	}
+	return out, r.Reg
+}
+
+func main() {
+	opt := options{}
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address after the run")
+	flag.Int64Var(&opt.seed, "seed", 42, "simulation seed")
+	flag.DurationVar(&opt.dur, "dur", 0, "virtual duration (0 = default 12s; flood in the middle third)")
+	flag.BoolVar(&opt.prom, "prom", false, "append the Prometheus text exposition of the registry")
+	flag.Parse()
+
+	out, reg := run(opt)
+	fmt.Print(out)
+
+	if *httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "qosmon: serving /metrics and /debug/pprof on %s\n", *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, monitor.NewMux(reg)); err != nil {
+			fmt.Fprintln(os.Stderr, "qosmon:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// The monitoring bus is the in-process half of this package: where the
+// Channel above models the paper's network-based Real-Time Event
+// Service (typed payloads dispatched through RT thread pools), the Bus
+// is the observability spine that merges occurrences from every
+// middleware layer — span ends, circuit-breaker transitions, FT
+// failovers, lane sheds, network drops, QuO region transitions, alert
+// rule firings — into one ordered, structured event timeline.
+//
+// Ordering guarantees: every published record carries a monotonically
+// increasing sequence number assigned under the bus lock, records are
+// delivered to subscribers synchronously in subscription order, and a
+// Timeline stores them in publication order. Within one simulation the
+// publication order is the deterministic kernel event order, so two
+// runs of the same seeded scenario produce identical timelines.
+
+// Kind classifies a monitoring record for subscription filtering.
+type Kind string
+
+// Built-in record kinds published by the monitoring plane's wiring.
+const (
+	// KindSpanEnd is a notable span ending (errors, sheds, FT activity).
+	KindSpanEnd Kind = "span_end"
+	// KindBreaker is a client-side circuit-breaker state transition.
+	KindBreaker Kind = "breaker"
+	// KindFailover is a client failover attempt to an alternate replica.
+	KindFailover Kind = "failover"
+	// KindShed is a thread-pool lane discarding admitted or arriving work.
+	KindShed Kind = "shed"
+	// KindDrop is the network destroying a packet.
+	KindDrop Kind = "drop"
+	// KindRegion is a QuO contract region transition.
+	KindRegion Kind = "region"
+	// KindAlert is an alert rule changing state (firing or resolved).
+	KindAlert Kind = "alert"
+	// KindSample marks a monitoring sampler tick.
+	KindSample Kind = "sample"
+)
+
+// Field is one ordered key/value annotation on a record.
+type Field struct {
+	K, V string
+}
+
+// F is shorthand for building a Field.
+func F(k, v string) Field { return Field{K: k, V: v} }
+
+// Record is one occurrence on the monitoring bus.
+type Record struct {
+	// Seq is the bus-assigned publication sequence number, strictly
+	// increasing across all kinds.
+	Seq uint64
+	// At is the virtual time of the occurrence.
+	At sim.Time
+	// Kind classifies the record.
+	Kind Kind
+	// Source names the emitting component (an ORB, a pool, a contract).
+	Source string
+	// Fields are ordered annotations.
+	Fields []Field
+}
+
+// String renders the record as one deterministic line.
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12v  %-9s %-20s", r.At, r.Kind, r.Source)
+	for _, f := range r.Fields {
+		fmt.Fprintf(&b, " %s=%s", f.K, f.V)
+	}
+	return b.String()
+}
+
+// BusSub is one bus subscription; Cancel stops delivery.
+type BusSub struct {
+	id     uint64
+	kinds  map[Kind]bool // nil = all kinds
+	fn     func(Record)
+	active bool
+}
+
+// Cancel stops delivery to this subscription.
+func (s *BusSub) Cancel() { s.active = false }
+
+// Bus is the monitoring event bus. It is safe for concurrent use; in a
+// simulation all publishes come from the kernel goroutine and are
+// therefore deterministically ordered.
+type Bus struct {
+	k   *sim.Kernel
+	mu  sync.Mutex
+	seq uint64
+	sub []*BusSub
+}
+
+// NewBus creates a bus stamping records with k's virtual clock.
+func NewBus(k *sim.Kernel) *Bus { return &Bus{k: k} }
+
+// Subscribe registers fn for the given kinds (none = every kind).
+// Subscribers are invoked synchronously at publish time, in
+// subscription order.
+func (b *Bus) Subscribe(fn func(Record), kinds ...Kind) *BusSub {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++ // subscription ids share the sequence space; only order matters
+	s := &BusSub{id: b.seq, fn: fn, active: true}
+	if len(kinds) > 0 {
+		s.kinds = make(map[Kind]bool, len(kinds))
+		for _, k := range kinds {
+			s.kinds[k] = true
+		}
+	}
+	b.sub = append(b.sub, s)
+	return s
+}
+
+// Publish stamps a record with the current virtual time and delivers it.
+func (b *Bus) Publish(kind Kind, source string, fields ...Field) Record {
+	return b.PublishAt(b.k.Now(), kind, source, fields...)
+}
+
+// PublishAt delivers a record carrying an explicit timestamp, for
+// sources that know their occurrence time (or callers off the kernel
+// goroutine, where reading the kernel clock would race).
+func (b *Bus) PublishAt(at sim.Time, kind Kind, source string, fields ...Field) Record {
+	b.mu.Lock()
+	b.seq++
+	r := Record{Seq: b.seq, At: at, Kind: kind, Source: source, Fields: fields}
+	subs := make([]*BusSub, len(b.sub))
+	copy(subs, b.sub)
+	b.mu.Unlock()
+	for _, s := range subs {
+		if !s.active {
+			continue
+		}
+		if s.kinds != nil && !s.kinds[kind] {
+			continue
+		}
+		s.fn(r)
+	}
+	return r
+}
+
+// Timeline is a bus subscriber that stores records in publication
+// order, the unified event timeline the dashboard renders.
+type Timeline struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewTimeline subscribes a timeline to b for the given kinds (none =
+// every kind).
+func NewTimeline(b *Bus, kinds ...Kind) *Timeline {
+	tl := &Timeline{}
+	b.Subscribe(tl.add, kinds...)
+	return tl
+}
+
+func (tl *Timeline) add(r Record) {
+	tl.mu.Lock()
+	tl.records = append(tl.records, r)
+	tl.mu.Unlock()
+}
+
+// Records returns the stored records in publication order.
+func (tl *Timeline) Records() []Record {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return append([]Record(nil), tl.records...)
+}
+
+// Len returns the number of stored records.
+func (tl *Timeline) Len() int {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return len(tl.records)
+}
+
+// Counts returns per-kind record counts.
+func (tl *Timeline) Counts() map[Kind]int {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make(map[Kind]int)
+	for _, r := range tl.records {
+		out[r.Kind]++
+	}
+	return out
+}
+
+// Render prints the timeline, one record per line, optionally filtered
+// to the given kinds (none = all). Records are already in (At, Seq)
+// order because simulation time is monotone at publish.
+func (tl *Timeline) Render(kinds ...Kind) string {
+	var filter map[Kind]bool
+	if len(kinds) > 0 {
+		filter = make(map[Kind]bool, len(kinds))
+		for _, k := range kinds {
+			filter[k] = true
+		}
+	}
+	var b strings.Builder
+	for _, r := range tl.Records() {
+		if filter != nil && !filter[r.Kind] {
+			continue
+		}
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCounts prints per-kind counts, sorted by kind, one per line.
+func (tl *Timeline) RenderCounts() string {
+	counts := tl.Counts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-10s %d\n", k, counts[Kind(k)])
+	}
+	return b.String()
+}

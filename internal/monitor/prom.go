@@ -1,0 +1,172 @@
+package monitor
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace/telemetry"
+)
+
+// This file is the exposition endpoint: the registry rendered in the
+// Prometheus text exposition format (version 0.0.4), either as a pure
+// string — the form simulation tests assert on — or served over a real
+// net/http mux with /metrics and /debug/pprof, for watching a live run.
+
+// promName sanitises an instrument name into a legal Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*, everything else mapped to '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabelName sanitises a label name: like metric names but without ':'.
+func promLabelName(name string) string {
+	s := promName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promLabels renders a label set (plus optional extra label) in
+// canonical order.
+func promLabels(labels []telemetry.Label, extra ...telemetry.Label) string {
+	all := append(append([]telemetry.Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = promLabelName(l.K) + `="` + promEscape(l.V) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+type promSample struct {
+	line string // full sample line(s) for this instrument
+	sort string // label-string sort key within the family
+}
+
+type promFamily struct {
+	name    string
+	typ     string
+	samples []promSample
+}
+
+// RenderProm renders every instrument in reg in the Prometheus text
+// exposition format: families grouped by (sanitised) metric name with
+// one TYPE line each, counters and gauges as single samples, histograms
+// as summaries (quantile series plus _sum and _count). Output is
+// deterministic: families sorted by name, samples by label string.
+func RenderProm(reg *telemetry.Registry) string {
+	fams := make(map[string]*promFamily)
+	add := func(rawName, typ string, mk func(name string, labels []telemetry.Label) []promSample) {
+		name, labels := telemetry.ParseKey(rawName)
+		pn := promName(name)
+		f, ok := fams[pn]
+		if !ok {
+			f = &promFamily{name: pn, typ: typ}
+			fams[pn] = f
+		}
+		f.samples = append(f.samples, mk(pn, labels)...)
+	}
+
+	for _, key := range reg.CounterKeys() {
+		v := reg.CounterByKey(key).Value()
+		add(key, "counter", func(name string, labels []telemetry.Label) []promSample {
+			ls := promLabels(labels)
+			return []promSample{{line: name + ls + " " + promFloat(v) + "\n", sort: ls}}
+		})
+	}
+	for _, key := range reg.GaugeKeys() {
+		v := reg.GaugeByKey(key).Value()
+		add(key, "gauge", func(name string, labels []telemetry.Label) []promSample {
+			ls := promLabels(labels)
+			return []promSample{{line: name + ls + " " + promFloat(v) + "\n", sort: ls}}
+		})
+	}
+	for _, key := range reg.HistogramKeys() {
+		h := reg.HistogramByKey(key)
+		sum := h.Summary()
+		total := h.Sum()
+		add(key, "summary", func(name string, labels []telemetry.Label) []promSample {
+			var b strings.Builder
+			for _, q := range []struct {
+				q string
+				v float64
+			}{{"0.5", sum.P50}, {"0.95", sum.P95}, {"0.99", sum.P99}} {
+				ls := promLabels(labels, telemetry.Label{K: "quantile", V: q.q})
+				b.WriteString(name + ls + " " + promFloat(q.v) + "\n")
+			}
+			ls := promLabels(labels)
+			b.WriteString(name + "_sum" + ls + " " + promFloat(total) + "\n")
+			b.WriteString(name + "_count" + ls + " " + strconv.FormatInt(int64(sum.N), 10) + "\n")
+			return []promSample{{line: b.String(), sort: ls}}
+		})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		sort.SliceStable(f.samples, func(i, j int) bool { return f.samples[i].sort < f.samples[j].sort })
+		for _, s := range f.samples {
+			b.WriteString(s.line)
+		}
+	}
+	return b.String()
+}
+
+// ContentType is the exposition content type served by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves RenderProm(reg) as a Prometheus scrape endpoint.
+func Handler(reg *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = w.Write([]byte(RenderProm(reg)))
+	})
+}
+
+// NewMux builds an http.ServeMux exposing /metrics for reg plus the
+// /debug/pprof handlers, registered explicitly so callers never depend
+// on the global http.DefaultServeMux.
+func NewMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,206 @@
+package monitor
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/trace/telemetry"
+)
+
+// parseExposition is a miniature Prometheus text-format (v0.0.4)
+// parser: it validates line syntax, metric/label name grammar, float
+// sample values, family grouping (every sample adjacent to its TYPE
+// line), and returns sample count per family. A parse failure fails the
+// test with the offending line.
+func parseExposition(t *testing.T, text string) map[string]int {
+	t.Helper()
+	isNameStart := func(r byte) bool {
+		return r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+	}
+	isName := func(s string) bool {
+		if s == "" || !isNameStart(s[0]) {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			r := s[i]
+			if !isNameStart(r) && !(r >= '0' && r <= '9') {
+				return false
+			}
+		}
+		return true
+	}
+	families := make(map[string]int)
+	var current string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || !isName(parts[2]) {
+				t.Fatalf("line %d: bad TYPE line %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, parts[3])
+			}
+			if _, dup := families[parts[2]]; dup {
+				t.Fatalf("line %d: family %q declared twice (samples not grouped)", ln+1, parts[2])
+			}
+			current = parts[2]
+			families[current] = 0
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment/HELP
+		}
+		// Sample: name[{labels}] value
+		rest := line
+		brace := strings.IndexByte(rest, '{')
+		var name string
+		if brace >= 0 {
+			name = rest[:brace]
+			close := strings.IndexByte(rest, '}')
+			if close < brace {
+				t.Fatalf("line %d: unterminated label set %q", ln+1, line)
+			}
+			for _, pair := range strings.Split(rest[brace+1:close], ",") {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 || !isName(pair[:eq]) || strings.Contains(pair[:eq], ":") {
+					t.Fatalf("line %d: bad label %q", ln+1, pair)
+				}
+				v := pair[eq+1:]
+				if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: unquoted label value %q", ln+1, pair)
+				}
+			}
+			rest = rest[close+1:]
+		} else {
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				t.Fatalf("line %d: no value on sample %q", ln+1, line)
+			}
+			name = rest[:sp]
+			rest = rest[sp:]
+		}
+		if !isName(name) {
+			t.Fatalf("line %d: bad metric name %q", ln+1, name)
+		}
+		rest = strings.TrimSpace(rest)
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, rest, err)
+		}
+		fam := name
+		for _, suffix := range []string{"_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name {
+				if _, ok := families[base]; ok {
+					fam = base
+				}
+			}
+		}
+		if current == "" || fam != current {
+			t.Fatalf("line %d: sample %q outside its family's TYPE block (current %q)", ln+1, name, current)
+		}
+		families[fam]++
+	}
+	return families
+}
+
+// TestRenderPromParses is the acceptance gate: a populated registry
+// renders to text that parses as valid Prometheus exposition format,
+// with families grouped even when lexical key order would interleave
+// them.
+func TestRenderPromParses(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	// "orb.requests" and "orb.requestsb" sanitise to names whose raw keys
+	// would interleave under a plain lexical sort of canonical keys.
+	reg.Counter("orb.requests", telemetry.L("op", "get"), telemetry.L("prio", "0")).Add(5)
+	reg.Counter("orb.requests", telemetry.L("op", "put"), telemetry.L("prio", "100")).Add(3)
+	reg.Counter("orb.requestsb").Inc()
+	reg.Gauge("pool.depth", telemetry.L("lane", "0")).Set(7)
+	h := reg.Histogram("orb.rtt_ms", telemetry.L("op", "get"))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	// A label value needing escaping.
+	reg.Counter("evil", telemetry.L("path", `a\b"c`)).Inc()
+
+	text := RenderProm(reg)
+	fams := parseExposition(t, text)
+
+	if fams["orb_requests"] != 2 {
+		t.Fatalf("orb_requests samples = %d, want 2:\n%s", fams["orb_requests"], text)
+	}
+	// Summary: 3 quantiles + _sum + _count.
+	if fams["orb_rtt_ms"] != 5 {
+		t.Fatalf("orb_rtt_ms samples = %d, want 5:\n%s", fams["orb_rtt_ms"], text)
+	}
+	if !strings.Contains(text, `orb_rtt_ms{op="get",quantile="0.95"} 95.05`) {
+		t.Fatalf("missing p95 quantile sample:\n%s", text)
+	}
+	if !strings.Contains(text, `orb_rtt_ms_count{op="get"} 100`) {
+		t.Fatalf("missing _count:\n%s", text)
+	}
+	if !strings.Contains(text, `evil{path="a\\b\"c"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", text)
+	}
+	// Determinism.
+	if RenderProm(reg) != text {
+		t.Fatal("RenderProm not deterministic")
+	}
+}
+
+func TestPromHTTPEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("up").Inc()
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseExposition(t, string(body))
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("body missing counter:\n%s", body)
+	}
+
+	// pprof is wired on the same mux.
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("pprof status = %d", pp.StatusCode)
+	}
+}
+
+func TestPromNameSanitisation(t *testing.T) {
+	cases := map[string]string{
+		"orb.rtt_ms":  "orb_rtt_ms",
+		"9lives":      "_lives",
+		"a-b c":       "a_b_c",
+		"ok_name:sub": "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promLabelName("a:b"); got != "a_b" {
+		t.Fatalf("promLabelName = %q", got)
+	}
+}

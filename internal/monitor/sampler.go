@@ -1,0 +1,299 @@
+package monitor
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/quo"
+	"repro/internal/sim"
+	"repro/internal/trace/telemetry"
+)
+
+// DefaultEvery is the sampling period when none is configured.
+const DefaultEvery = 250 * time.Millisecond
+
+// RuleOp is the comparison direction of an alert rule.
+type RuleOp int
+
+const (
+	// Above fires when the observed statistic exceeds the threshold.
+	Above RuleOp = iota + 1
+	// Below fires when the observed statistic falls under the threshold.
+	Below
+)
+
+func (op RuleOp) String() string {
+	if op == Below {
+		return "below"
+	}
+	return "above"
+}
+
+// Rule is a threshold alert over one series statistic. Grammar:
+//
+//	ALERT <name> WHEN <series>.<stat> {above|below} <threshold> FOR <n> windows
+//
+// The rule fires after the condition has held for For consecutive
+// closed windows (empty windows break the streak) and resolves on the
+// first window where it no longer holds. Firing and resolving publish
+// KindAlert records on the bus.
+type Rule struct {
+	Name      string
+	Series    string // sampler series name (canonical instrument key [+ .window suffix])
+	Stat      Stat
+	Op        RuleOp
+	Threshold float64
+	For       int // consecutive windows required; <=1 means immediate
+
+	streak int
+	firing bool
+}
+
+func (r *Rule) holds(v float64) bool {
+	if r.Op == Below {
+		return v < r.Threshold
+	}
+	return v > r.Threshold
+}
+
+// Sampler walks a telemetry registry on a fixed virtual-time period,
+// turning instruments into bounded time series:
+//
+//   - each counter becomes a per-window delta series (one observation
+//     per tick: the increase since the previous tick),
+//   - each gauge becomes a per-window level series (its value at the
+//     tick),
+//   - each histogram's window reservoir is drained via TakeWindow into
+//     a per-window distribution series, leaving the cumulative summary
+//     untouched.
+//
+// After appending windows it evaluates alert rules and publishes
+// KindAlert transitions on the bus (when one is attached). Series are
+// created lazily as instruments appear in the registry, so scenarios
+// may register metrics after the sampler starts.
+type Sampler struct {
+	K     *sim.Kernel
+	Reg   *telemetry.Registry
+	Bus   *events.Bus // optional; alert + tick records
+	Every time.Duration
+	// WindowCap bounds retained windows per series (DefaultWindows if 0).
+	WindowCap int
+
+	series    map[string]*Series
+	prevCount map[string]float64
+	rules     []*Rule
+	order     []string // series creation order, for deterministic dashboards
+	lastTick  sim.Time
+	ticks     int
+	stopped   bool
+	started   bool
+}
+
+// NewSampler creates a sampler over reg ticking every period (
+// DefaultEvery if <= 0). The bus may be nil.
+func NewSampler(k *sim.Kernel, reg *telemetry.Registry, bus *events.Bus, every time.Duration) *Sampler {
+	if every <= 0 {
+		every = DefaultEvery
+	}
+	return &Sampler{
+		K:         k,
+		Reg:       reg,
+		Bus:       bus,
+		Every:     every,
+		series:    make(map[string]*Series),
+		prevCount: make(map[string]float64),
+	}
+}
+
+// AddRule registers an alert rule evaluated after every tick.
+func (s *Sampler) AddRule(r *Rule) *Sampler {
+	if r.For < 1 {
+		r.For = 1
+	}
+	s.rules = append(s.rules, r)
+	return s
+}
+
+// Start schedules the recurring sampling tick.
+func (s *Sampler) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.lastTick = s.K.Now()
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		s.Tick()
+		s.K.After(s.Every, tick)
+	}
+	s.K.After(s.Every, tick)
+}
+
+// Stop halts sampling after the current tick.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Ticks returns the number of completed sampling ticks.
+func (s *Sampler) Ticks() int { return s.ticks }
+
+func (s *Sampler) get(name string) *Series {
+	sr, ok := s.series[name]
+	if !ok {
+		sr = NewSeries(name, s.WindowCap)
+		s.series[name] = sr
+		s.order = append(s.order, name)
+	}
+	return sr
+}
+
+// Series returns the series for a canonical instrument key (histograms
+// additionally expose "<key>.window"), or nil if never sampled.
+func (s *Sampler) Series(name string) *Series { return s.series[name] }
+
+// SeriesNames returns all series in creation order (registry key order
+// at each tick, so deterministic for a deterministic scenario).
+func (s *Sampler) SeriesNames() []string { return append([]string(nil), s.order...) }
+
+// Tick closes one sampling window: reads every instrument, appends
+// window summaries, and evaluates alert rules. Exposed so tests and
+// scenarios can force a final window at shutdown.
+func (s *Sampler) Tick() {
+	start, end := s.lastTick, s.K.Now()
+	s.lastTick = end
+	s.ticks++
+
+	for _, key := range s.Reg.CounterKeys() {
+		cur := s.Reg.CounterByKey(key).Value()
+		delta := cur - s.prevCount[key]
+		s.prevCount[key] = cur
+		sr := s.get(key)
+		sr.Observe(delta)
+		sr.Roll(start, end)
+	}
+	for _, key := range s.Reg.GaugeKeys() {
+		sr := s.get(key)
+		sr.Observe(s.Reg.GaugeByKey(key).Value())
+		sr.Roll(start, end)
+	}
+	for _, key := range s.Reg.HistogramKeys() {
+		sum := s.Reg.HistogramByKey(key).TakeWindow()
+		s.get(key + ".window").Append(Window{Start: start, End: end, Summary: sum})
+	}
+
+	if s.Bus != nil {
+		s.Bus.Publish(events.KindSample, "sampler",
+			events.F("tick", strconv.Itoa(s.ticks)),
+			events.F("series", strconv.Itoa(len(s.series))))
+	}
+	s.evalRules()
+}
+
+func (s *Sampler) evalRules() {
+	for _, r := range s.rules {
+		sr := s.series[r.Series]
+		if sr == nil {
+			continue
+		}
+		w, ok := sr.Last()
+		if !ok {
+			continue
+		}
+		// Empty windows carry no evidence either way for value statistics;
+		// they still count for StatCount/StatRate (zero traffic is a fact).
+		if w.N == 0 && r.Stat != StatCount && r.Stat != StatRate {
+			r.streak = 0
+			continue
+		}
+		v := r.Stat.Of(w)
+		if r.holds(v) {
+			r.streak++
+		} else {
+			r.streak = 0
+		}
+		switch {
+		case !r.firing && r.streak >= r.For:
+			r.firing = true
+			s.alert(r, "firing", v)
+		case r.firing && r.streak == 0:
+			r.firing = false
+			s.alert(r, "resolved", v)
+		}
+	}
+}
+
+func (s *Sampler) alert(r *Rule, state string, v float64) {
+	if s.Bus == nil {
+		return
+	}
+	s.Bus.Publish(events.KindAlert, "rule/"+r.Name,
+		events.F("state", state),
+		events.F("series", r.Series),
+		events.F("stat", r.Stat.String()),
+		events.F("op", r.Op.String()),
+		events.F("value", strconv.FormatFloat(v, 'g', 6, 64)),
+		events.F("threshold", strconv.FormatFloat(r.Threshold, 'g', 6, 64)))
+}
+
+// SeriesCond adapts one sampled series statistic into a QuO system
+// condition object: the closed-loop feed. Contracts evaluating the
+// condition see the statistic of the most recent non-empty window —
+// i.e. what the monitoring plane measured, not what a probe hand-set.
+type SeriesCond struct {
+	name    string
+	sampler *Sampler
+	series  string
+	stat    Stat
+	// Default is returned before any non-empty window exists.
+	Default float64
+}
+
+var _ quo.SysCond = (*SeriesCond)(nil)
+
+// NewSeriesCond creates a condition reading stat of the named series.
+func NewSeriesCond(name string, s *Sampler, series string, stat Stat) *SeriesCond {
+	return &SeriesCond{name: name, sampler: s, series: series, stat: stat}
+}
+
+// HistogramCond reads a statistic of a histogram's per-window series
+// (key + ".window").
+func HistogramCond(name string, s *Sampler, histKey string, stat Stat) *SeriesCond {
+	return NewSeriesCond(name, s, histKey+".window", stat)
+}
+
+// CounterRateCond reads a counter's per-second rate series.
+func CounterRateCond(name string, s *Sampler, counterKey string) *SeriesCond {
+	return NewSeriesCond(name, s, counterKey, StatRate)
+}
+
+// GaugeCond reads the mean sampled gauge level.
+func GaugeCond(name string, s *Sampler, gaugeKey string) *SeriesCond {
+	return NewSeriesCond(name, s, gaugeKey, StatMean)
+}
+
+// Name implements quo.SysCond.
+func (c *SeriesCond) Name() string { return c.name }
+
+// Value implements quo.SysCond: the configured statistic of the most
+// recent non-empty window, or Default before one exists.
+func (c *SeriesCond) Value() float64 {
+	sr := c.sampler.Series(c.series)
+	if sr == nil {
+		return c.Default
+	}
+	// Rate/count statistics are meaningful on empty windows (zero); value
+	// statistics need at least one observation.
+	if c.stat == StatCount || c.stat == StatRate {
+		if w, ok := sr.Last(); ok {
+			return c.stat.Of(w)
+		}
+		return c.Default
+	}
+	w, ok := sr.LastNonEmpty()
+	if !ok {
+		return c.Default
+	}
+	return c.stat.Of(w)
+}

@@ -48,8 +48,14 @@ type Network struct {
 	flowSeq uint64
 	tracer  *trace.Tracer
 
-	stats map[FlowID]*FlowStats
+	stats    map[FlowID]*FlowStats
+	dropHook func(p *Packet, reason DropReason)
 }
+
+// SetDropHook installs fn to observe every packet the network destroys,
+// with the classified reason. The monitoring plane uses it to merge
+// network drops into the unified event timeline. A nil fn disables it.
+func (n *Network) SetDropHook(fn func(p *Packet, reason DropReason)) { n.dropHook = fn }
 
 // New creates an empty network on kernel k.
 func New(k *sim.Kernel) *Network {

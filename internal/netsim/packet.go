@@ -252,6 +252,9 @@ func (n *Network) countDrop(p *Packet, reason DropReason) {
 	st := n.flowStats(p.Flow)
 	st.Dropped++
 	st.DropReasons[reason]++
+	if n.dropHook != nil {
+		n.dropHook(p, reason)
+	}
 	if p.hopSpan != nil {
 		p.hopSpan.Event("drop", trace.String("reason", reason.String()))
 		p.hopSpan.Finish()

@@ -76,6 +76,7 @@ type breaker struct {
 	o           *ORB
 	entries     map[netsim.Addr]*breakerEntry
 	transitions []BreakerTransition
+	hook        func(BreakerTransition)
 }
 
 func newBreaker(o *ORB) *breaker {
@@ -94,9 +95,11 @@ func (b *breaker) entry(addr netsim.Addr) *breakerEntry {
 func (b *breaker) transition(addr netsim.Addr, e *breakerEntry, to BreakerState) {
 	from := e.state
 	e.state = to
-	b.transitions = append(b.transitions, BreakerTransition{
-		At: b.o.ep.Kernel().Now(), Addr: addr, From: from, To: to,
-	})
+	tr := BreakerTransition{At: b.o.ep.Kernel().Now(), Addr: addr, From: from, To: to}
+	b.transitions = append(b.transitions, tr)
+	if b.hook != nil {
+		b.hook(tr)
+	}
 	if b.o.tracer != nil {
 		s := b.o.tracer.StartRoot("breaker."+to.String(), trace.LayerOverload)
 		s.SetAttr(trace.String("endpoint", addr.String()), trace.String("from", from.String()))
@@ -206,3 +209,8 @@ func (o *ORB) BreakerState(addr netsim.Addr) BreakerState {
 func (o *ORB) BreakerTransitions() []BreakerTransition {
 	return o.breaker.transitions
 }
+
+// SetBreakerHook installs fn to observe every circuit transition as it
+// happens, in addition to the transition log. The monitoring plane uses
+// it to feed breaker state changes into the unified event timeline.
+func (o *ORB) SetBreakerHook(fn func(BreakerTransition)) { o.breaker.hook = fn }

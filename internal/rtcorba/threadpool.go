@@ -89,11 +89,12 @@ type LaneConfig struct {
 // item rather than being refused, and items whose end-to-end deadline
 // has already expired are discarded at dequeue.
 type ThreadPool struct {
-	host   *rtos.Host
-	mm     *MappingManager
-	lanes  []*lane
-	tracer *trace.Tracer
-	reg    *telemetry.Registry
+	host     *rtos.Host
+	mm       *MappingManager
+	lanes    []*lane
+	tracer   *trace.Tracer
+	reg      *telemetry.Registry
+	shedHook func(lane Priority, reason string)
 }
 
 // SetTracer enables lane-queue spans for work items carrying a trace
@@ -104,6 +105,12 @@ func (tp *ThreadPool) SetTracer(tr *trace.Tracer) { tp.tracer = tr }
 // (pool.shed{lane,reason} and pool.refused{lane}). A nil registry
 // disables them.
 func (tp *ThreadPool) SetTelemetry(reg *telemetry.Registry) { tp.reg = reg }
+
+// SetShedHook installs fn to observe every discarded work item: reason
+// is "evicted" or "deadline" for post-admission sheds and "refused" for
+// admission rejections. The monitoring plane uses it to merge lane
+// sheds into the unified event timeline.
+func (tp *ThreadPool) SetShedHook(fn func(lane Priority, reason string)) { tp.shedHook = fn }
 
 type lane struct {
 	cfg          LaneConfig
@@ -223,6 +230,9 @@ func (tp *ThreadPool) shed(ln *lane, w Work, reason ShedReason) {
 			telemetry.L("lane", fmt.Sprint(ln.cfg.Priority)),
 			telemetry.L("reason", reason.String())).Inc()
 	}
+	if tp.shedHook != nil {
+		tp.shedHook(ln.cfg.Priority, reason.String())
+	}
 	if w.Shed != nil {
 		w.Shed(reason)
 	}
@@ -276,6 +286,9 @@ func (tp *ThreadPool) refuse(ln *lane, w Work) bool {
 	}
 	if tp.reg != nil {
 		tp.reg.Counter("pool.refused", telemetry.L("lane", fmt.Sprint(ln.cfg.Priority))).Inc()
+	}
+	if tp.shedHook != nil {
+		tp.shedHook(ln.cfg.Priority, "refused")
 	}
 	return false
 }

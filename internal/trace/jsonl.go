@@ -3,12 +3,19 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"sync"
 )
 
 // JSONL is a sink that writes one JSON object per ended span, in end
 // order. Field order follows the DTO struct definitions, and attribute
 // slices preserve insertion order, so output is deterministic.
+//
+// A JSONL is safe to share between tracers running on different
+// goroutines (e.g. parallel scenario sweeps exporting to one file):
+// each span is written as a single atomic line, so lines never
+// interleave, and every tracer's spans appear in its own end order.
 type JSONL struct {
+	mu  sync.Mutex
 	w   io.Writer
 	err error
 }
@@ -17,7 +24,11 @@ type JSONL struct {
 func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
 
 // Err returns the first write/encode error, if any.
-func (j *JSONL) Err() error { return j.err }
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
 
 type jsonAttr struct {
 	K string `json:"k"`
@@ -55,6 +66,8 @@ func toJSONAttrs(attrs []Attr) []jsonAttr {
 
 // OnEnd implements Sink.
 func (j *JSONL) OnEnd(s *Span) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.err != nil {
 		return
 	}

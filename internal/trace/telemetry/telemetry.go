@@ -7,15 +7,18 @@
 // duration per operation/priority/region — come out in the same format
 // as the paper's tables.
 //
-// Like the rest of the simulation, a Registry is driven from the single
-// kernel goroutine and needs no locking; iteration for rendering is
-// sorted by instrument key so output is deterministic.
+// The registry and its instruments are safe for concurrent use: the
+// monitoring plane's HTTP exposition endpoint reads them from a real
+// goroutine while the simulation goroutine writes. Iteration for
+// rendering is sorted by instrument key so output is deterministic.
 package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/metrics"
 )
@@ -52,56 +55,273 @@ func keyOf(name string, labels []Label) string {
 	return b.String()
 }
 
+// Key builds the canonical instrument key for name+labels, the same
+// form the registry uses internally and the enumeration helpers return.
+func Key(name string, labels ...Label) string { return keyOf(name, labels) }
+
+// ParseKey splits a canonical instrument key back into its name and
+// sorted label set. It is the inverse of Key for keys the registry
+// minted (label keys and values must not contain ',', '=' or '}').
+func ParseKey(key string) (name string, labels []Label) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name = key[:open]
+	body := key[open+1 : len(key)-1]
+	if body == "" {
+		return name, nil
+	}
+	for _, part := range strings.Split(body, ",") {
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			labels = append(labels, Label{K: part[:eq], V: part[eq+1:]})
+		}
+	}
+	return name, labels
+}
+
 // Counter is a monotonically increasing count.
 type Counter struct {
-	v float64
+	mu sync.Mutex
+	v  float64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds d (negative deltas panic: counters only go up).
 func (c *Counter) Add(d float64) {
 	if d < 0 {
 		panic("telemetry: counter decrement")
 	}
+	c.mu.Lock()
 	c.v += d
+	c.mu.Unlock()
 }
 
 // Value returns the current count.
-func (c *Counter) Value() float64 { return c.v }
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
 
 // Gauge is a point-in-time value (queue depth, region index, rate).
 type Gauge struct {
+	mu  sync.Mutex
 	v   float64
 	set bool
 }
 
 // Set records the current value.
-func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v, g.set = v, true
+	g.mu.Unlock()
+}
+
+// Add moves the gauge by d (either sign), the usual shape for
+// up/down-counted state like queue depth or in-flight requests.
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v, g.set = g.v+d, true
+	g.mu.Unlock()
+}
 
 // Value returns the last set value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
 
-// Histogram accumulates observations for distribution statistics.
-type Histogram struct {
-	vs []float64
+// DefaultReservoirCap bounds the samples a histogram retains. Below the
+// cap every observation is kept and summaries are exact; beyond it a
+// deterministic reservoir keeps a uniform sample for percentiles while
+// count, sum, mean, min and max stay exact.
+const DefaultReservoirCap = 4096
+
+// Reservoir is a bounded, deterministic sample of a value stream:
+// exact below its capacity, uniform reservoir sampling (Algorithm R
+// with a fixed-seed splitmix64 stream, so runs are reproducible) at and
+// beyond it. Moment statistics (count, sum, min, max) are tracked
+// exactly regardless of capacity. Not safe for concurrent use on its
+// own; Histogram adds the locking.
+type Reservoir struct {
+	cap      int
+	n        int64
+	sum, sq  float64
+	min, max float64
+	vs       []float64
+	rng      uint64
+}
+
+// NewReservoir creates a reservoir keeping at most cap samples
+// (DefaultReservoirCap if cap <= 0).
+func NewReservoir(cap int) *Reservoir {
+	if cap <= 0 {
+		cap = DefaultReservoirCap
+	}
+	return &Reservoir{cap: cap, rng: 0x9e3779b97f4a7c15}
+}
+
+// next advances the deterministic splitmix64 stream.
+func (r *Reservoir) next() uint64 {
+	r.rng += 0x9e3779b97f4a7c15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) { h.vs = append(h.vs, v) }
+func (r *Reservoir) Observe(v float64) {
+	r.n++
+	r.sum += v
+	r.sq += v * v
+	if r.n == 1 || v < r.min {
+		r.min = v
+	}
+	if r.n == 1 || v > r.max {
+		r.max = v
+	}
+	if len(r.vs) < r.cap {
+		r.vs = append(r.vs, v)
+		return
+	}
+	if j := r.next() % uint64(r.n); j < uint64(len(r.vs)) {
+		r.vs[j] = v
+	}
+}
 
-// Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.vs) }
+// Count returns the number of observations (not the retained sample
+// size).
+func (r *Reservoir) Count() int64 { return r.n }
 
-// Values returns the raw samples in observation order.
-func (h *Histogram) Values() []float64 { return h.vs }
+// Sum returns the exact sum of all observations.
+func (r *Reservoir) Sum() float64 { return r.sum }
 
-// Summary computes distribution statistics via metrics.Summarize.
-func (h *Histogram) Summary() metrics.Summary { return metrics.Summarize(h.vs) }
+// Values returns the retained samples (all observations, in order,
+// while under the capacity).
+func (r *Reservoir) Values() []float64 { return r.vs }
 
-// Registry holds labeled instruments, created on first use.
+// Reset clears the reservoir.
+func (r *Reservoir) Reset() {
+	r.n, r.sum, r.sq, r.min, r.max = 0, 0, 0, 0, 0
+	r.vs = r.vs[:0]
+}
+
+// Summary computes distribution statistics. Below the capacity it is
+// byte-for-byte what metrics.Summarize over the full stream returns;
+// beyond it, percentiles come from the uniform sample while N, mean,
+// std, min and max remain exact.
+func (r *Reservoir) Summary() metrics.Summary {
+	if r.n == 0 {
+		return metrics.Summary{}
+	}
+	s := metrics.Summarize(r.vs)
+	if int64(len(r.vs)) == r.n {
+		return s
+	}
+	s.N = int(r.n)
+	mean := r.sum / float64(r.n)
+	variance := r.sq/float64(r.n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Mean = mean
+	s.Std = math.Sqrt(variance)
+	s.Min, s.Max = r.min, r.max
+	return s
+}
+
+// Histogram accumulates observations for distribution statistics. Its
+// memory is bounded: a deterministic reservoir caps retained samples
+// (see Reservoir) while counts and moments stay exact. Alongside the
+// cumulative distribution it maintains a window reservoir the
+// monitoring sampler drains once per tick (TakeWindow), which is how
+// per-window percentiles reach the time-series plane.
+type Histogram struct {
+	mu  sync.Mutex
+	cum *Reservoir
+	win *Reservoir
+}
+
+func (h *Histogram) init() {
+	if h.cum == nil {
+		h.cum = NewReservoir(0)
+		h.win = NewReservoir(0)
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.init()
+	h.cum.Observe(v)
+	h.win.Observe(v)
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cum == nil {
+		return 0
+	}
+	return int(h.cum.Count())
+}
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cum == nil {
+		return 0
+	}
+	return h.cum.Sum()
+}
+
+// Values returns a copy of the retained samples (every observation, in
+// order, for streams under the reservoir capacity).
+func (h *Histogram) Values() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cum == nil {
+		return nil
+	}
+	return append([]float64(nil), h.cum.Values()...)
+}
+
+// Summary computes distribution statistics over all observations.
+func (h *Histogram) Summary() metrics.Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cum == nil {
+		return metrics.Summary{}
+	}
+	return h.cum.Summary()
+}
+
+// TakeWindow summarizes the observations since the previous TakeWindow
+// (or since creation) and resets the window, leaving the cumulative
+// distribution untouched.
+func (h *Histogram) TakeWindow() metrics.Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.win == nil {
+		return metrics.Summary{}
+	}
+	s := h.win.Summary()
+	h.win.Reset()
+	return s
+}
+
+// Registry holds labeled instruments, created on first use. It is safe
+// for concurrent use.
 type Registry struct {
+	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -119,6 +339,8 @@ func NewRegistry() *Registry {
 // Counter returns (creating on first use) the counter for name+labels.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	k := keyOf(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.counters[k]
 	if !ok {
 		c = &Counter{}
@@ -130,6 +352,8 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 // Gauge returns (creating on first use) the gauge for name+labels.
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	k := keyOf(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[k]
 	if !ok {
 		g = &Gauge{}
@@ -142,6 +366,8 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 // name+labels.
 func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	k := keyOf(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.histograms[k]
 	if !ok {
 		h = &Histogram{}
@@ -159,11 +385,54 @@ func sortedKeys[T any](m map[string]T) []string {
 	return keys
 }
 
+// CounterKeys returns the canonical keys of every counter, sorted. The
+// monitoring sampler enumerates instruments through these helpers.
+func (r *Registry) CounterKeys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.counters)
+}
+
+// GaugeKeys returns the canonical keys of every gauge, sorted.
+func (r *Registry) GaugeKeys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.gauges)
+}
+
+// HistogramKeys returns the canonical keys of every histogram, sorted.
+func (r *Registry) HistogramKeys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.histograms)
+}
+
+// CounterByKey returns the counter for a canonical key, or nil.
+func (r *Registry) CounterByKey(key string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[key]
+}
+
+// GaugeByKey returns the gauge for a canonical key, or nil.
+func (r *Registry) GaugeByKey(key string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[key]
+}
+
+// HistogramByKey returns the histogram for a canonical key, or nil.
+func (r *Registry) HistogramByKey(key string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.histograms[key]
+}
+
 // CounterTable renders all counters as a metrics.Table, sorted by key.
 func (r *Registry) CounterTable() *metrics.Table {
 	tb := metrics.NewTable("Counters", "Metric", "Value")
-	for _, k := range sortedKeys(r.counters) {
-		tb.AddRow(k, fmt.Sprintf("%g", r.counters[k].v))
+	for _, k := range r.CounterKeys() {
+		tb.AddRow(k, fmt.Sprintf("%g", r.CounterByKey(k).Value()))
 	}
 	return tb
 }
@@ -171,8 +440,8 @@ func (r *Registry) CounterTable() *metrics.Table {
 // GaugeTable renders all gauges as a metrics.Table, sorted by key.
 func (r *Registry) GaugeTable() *metrics.Table {
 	tb := metrics.NewTable("Gauges", "Metric", "Value")
-	for _, k := range sortedKeys(r.gauges) {
-		tb.AddRow(k, fmt.Sprintf("%g", r.gauges[k].v))
+	for _, k := range r.GaugeKeys() {
+		tb.AddRow(k, fmt.Sprintf("%g", r.GaugeByKey(k).Value()))
 	}
 	return tb
 }
@@ -181,8 +450,8 @@ func (r *Registry) GaugeTable() *metrics.Table {
 // statistics, sorted by key.
 func (r *Registry) HistogramTable() *metrics.Table {
 	tb := metrics.NewTable("Histograms", "Metric", "N", "Mean", "P50", "P95", "P99", "Max")
-	for _, k := range sortedKeys(r.histograms) {
-		s := r.histograms[k].Summary()
+	for _, k := range r.HistogramKeys() {
+		s := r.HistogramByKey(k).Summary()
 		tb.AddRow(k,
 			fmt.Sprintf("%d", s.N),
 			fmt.Sprintf("%.6g", s.Mean),
@@ -198,17 +467,20 @@ func (r *Registry) HistogramTable() *metrics.Table {
 // Render produces every non-empty table, in counter/gauge/histogram
 // order.
 func (r *Registry) Render() string {
+	r.mu.Lock()
+	nc, ng, nh := len(r.counters), len(r.gauges), len(r.histograms)
+	r.mu.Unlock()
 	var b strings.Builder
-	if len(r.counters) > 0 {
+	if nc > 0 {
 		b.WriteString(r.CounterTable().Render())
 	}
-	if len(r.gauges) > 0 {
+	if ng > 0 {
 		if b.Len() > 0 {
 			b.WriteByte('\n')
 		}
 		b.WriteString(r.GaugeTable().Render())
 	}
-	if len(r.histograms) > 0 {
+	if nh > 0 {
 		if b.Len() > 0 {
 			b.WriteByte('\n')
 		}

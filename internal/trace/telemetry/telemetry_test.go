@@ -1,8 +1,12 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func TestLabelOrderCanonicalized(t *testing.T) {
@@ -88,5 +92,151 @@ func TestRenderSortedAndStable(t *testing.T) {
 func TestRenderEmptyRegistry(t *testing.T) {
 	if out := NewRegistry().Render(); out != "" {
 		t.Fatalf("empty registry rendered %q", out)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge after Add(3), Add(-1) = %v, want 2", g.Value())
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels []Label
+	}{
+		{"plain", nil},
+		{"orb.rtt_ms", []Label{L("prio", "100"), L("op", "echo")}},
+		{"pool.shed", []Label{L("reason", "deadline"), L("lane", "0")}},
+	}
+	for _, c := range cases {
+		key := Key(c.name, c.labels...)
+		name, labels := ParseKey(key)
+		if name != c.name {
+			t.Fatalf("ParseKey(%q) name = %q", key, name)
+		}
+		// Re-keying the parsed form must reproduce the canonical key:
+		// canonical label ordering survives the sampling round trip.
+		if got := Key(name, labels...); got != key {
+			t.Fatalf("round trip %q -> %q", key, got)
+		}
+		for i := 1; i < len(labels); i++ {
+			if labels[i-1].K >= labels[i].K {
+				t.Fatalf("parsed labels not canonically ordered: %v", labels)
+			}
+		}
+	}
+}
+
+func TestHistogramBoundedMemory(t *testing.T) {
+	h := NewRegistry().Histogram("big")
+	n := 3 * DefaultReservoirCap
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	if got := len(h.Values()); got != DefaultReservoirCap {
+		t.Fatalf("retained %d samples, want cap %d", got, DefaultReservoirCap)
+	}
+	s := h.Summary()
+	if s.N != n {
+		t.Fatalf("N = %d, want exact %d", s.N, n)
+	}
+	if s.Min != 0 || s.Max != float64(n-1) {
+		t.Fatalf("min/max = %v/%v, want exact 0/%d", s.Min, s.Max, n-1)
+	}
+	wantMean := float64(n-1) / 2
+	if s.Mean != wantMean {
+		t.Fatalf("mean = %v, want exact %v", s.Mean, wantMean)
+	}
+	// Percentiles are sampled but must stay plausible on a uniform ramp.
+	if s.P50 < 0.3*float64(n) || s.P50 > 0.7*float64(n) {
+		t.Fatalf("sampled P50 = %v implausible for uniform ramp over [0,%d)", s.P50, n)
+	}
+}
+
+func TestHistogramSmallRunsExact(t *testing.T) {
+	// Below the reservoir cap, Summary must equal the exact computation
+	// over every observation — the pre-reservoir behaviour.
+	h := &Histogram{}
+	vs := []float64{5, 1, 4, 2, 3, 9, 7}
+	for _, v := range vs {
+		h.Observe(v)
+	}
+	want := metrics.Summarize(vs)
+	if got := h.Summary(); got != want {
+		t.Fatalf("small-run summary %+v != exact %+v", got, want)
+	}
+}
+
+func TestHistogramDeterministicReservoir(t *testing.T) {
+	sample := func() []float64 {
+		h := &Histogram{}
+		for i := 0; i < 2*DefaultReservoirCap; i++ {
+			h.Observe(float64(i))
+		}
+		return h.Values()
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHistogramTakeWindow(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1)
+	h.Observe(3)
+	w := h.TakeWindow()
+	if w.N != 2 || w.Mean != 2 {
+		t.Fatalf("window 1 = %+v, want N=2 mean=2", w)
+	}
+	h.Observe(10)
+	w = h.TakeWindow()
+	if w.N != 1 || w.Mean != 10 {
+		t.Fatalf("window 2 = %+v, want N=1 mean=10", w)
+	}
+	if w = h.TakeWindow(); w.N != 0 {
+		t.Fatalf("empty window = %+v, want N=0", w)
+	}
+	// Cumulative view is unaffected by window draining.
+	if s := h.Summary(); s.N != 3 {
+		t.Fatalf("cumulative N = %d, want 3", s.N)
+	}
+}
+
+// TestRegistryConcurrentUse exercises concurrent Inc/Observe/Set/Render
+// under -race: the exposition endpoint reads while probes write.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("reqs", L("op", "echo")).Inc()
+				r.Gauge("depth", L("lane", "0")).Add(1)
+				r.Histogram("rtt", L("prio", fmt.Sprint(g%2))).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = r.Render()
+			_ = r.Histogram("rtt", L("prio", "0")).TakeWindow()
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("reqs", L("op", "echo")).Value(); got != 2000 {
+		t.Fatalf("counter = %v, want 2000", got)
 	}
 }
