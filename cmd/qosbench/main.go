@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, ablations, verify")
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, verify")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = paper scale)")
 	series := flag.Bool("series", false, "dump raw latency series for fig4/fig5/fig6")
@@ -120,6 +120,15 @@ func main() {
 		emit("overload", overloadStats(r))
 		ran++
 	}
+	if want("slo") {
+		r := experiments.RunSLO(opt)
+		fmt.Print(r.SLO.Render())
+		fmt.Printf("burn fired %v, p95 rule fired %v; %d/%d deadline misses kept; %.1f traces/s kept\n\n",
+			renderFired(r.BurnFired, r.BurnFiredAt), renderFired(r.AlertFired, r.AlertFiredAt),
+			r.MissKept, r.MissTotal, r.KeptPerSec)
+		emit("slo", sloStats(r))
+		ran++
+	}
 	if want("ablations") {
 		fmt.Println(experiments.RenderAblations(experiments.RunAblations(opt)))
 		ran++
@@ -168,6 +177,13 @@ type benchStat struct {
 	// ShedRate is the fraction of offered load deliberately shed
 	// (overload scenarios only).
 	ShedRate float64 `json:"shed_rate,omitempty"`
+	// SLO-scenario fields: when each alerting strategy first fired
+	// (virtual ms, 0 = never), the sampler's kept-trace rate, and the
+	// fraction of deadline-missed invocations with a kept trace.
+	BurnFiredMs  float64 `json:"burn_fired_ms,omitempty"`
+	AlertFiredMs float64 `json:"alert_fired_ms,omitempty"`
+	KeptPerSec   float64 `json:"kept_traces_per_sec,omitempty"`
+	MissKept     float64 `json:"deadline_miss_kept_ratio,omitempty"`
 }
 
 type benchFile struct {
@@ -246,6 +262,38 @@ func overloadStats(r experiments.OverloadResult) []benchStat {
 		low.Throughput = float64(r.LowServed) / r.Duration.Seconds()
 	}
 	return []benchStat{high, low}
+}
+
+// renderFired formats a first-firing time for the slo summary line.
+func renderFired(fired bool, at time.Duration) string {
+	if !fired {
+		return "never"
+	}
+	return at.String()
+}
+
+// sloStats reports the SLO scenario: the successful-invocation RTT
+// distribution (the app.rtt_ms histogram is already in milliseconds)
+// plus the alerting head-to-head and sampling-economics fields.
+func sloStats(r experiments.SLOResult) []benchStat {
+	sum := r.Reg.Histogram("app.rtt_ms").Summary()
+	st := benchStat{
+		Scenario:     "slo / client rtt (successes)",
+		Samples:      sum.N,
+		P50Ms:        sum.P50,
+		P95Ms:        sum.P95,
+		P99Ms:        sum.P99,
+		BurnFiredMs:  float64(r.BurnFiredAt) / float64(time.Millisecond),
+		AlertFiredMs: float64(r.AlertFiredAt) / float64(time.Millisecond),
+		KeptPerSec:   r.KeptPerSec,
+	}
+	if r.Duration > 0 {
+		st.Throughput = float64(r.OK) / r.Duration.Seconds()
+	}
+	if r.MissTotal > 0 {
+		st.MissKept = float64(r.MissKept) / float64(r.MissTotal)
+	}
+	return []benchStat{st}
 }
 
 // summaryStat reports a per-image processing-time summary; throughput

@@ -8,7 +8,13 @@
 // Usage:
 //
 //	qostrace [-scenario prio|video|all] [-calls N] [-frames N]
-//	         [-jsonl FILE] [-seed N]
+//	         [-jsonl FILE] [-json] [-seed N]
+//
+// -json replaces the human-readable report with one JSON document on
+// stdout: per exemplar trace, the full span list, the critical path,
+// and both latency decompositions (exclusive-time and critical-path
+// shares) with the guilty layer. -jsonl independently streams every
+// span of the run to a file as JSON lines.
 //
 // The prio scenario is the paper's Figure 2 three-host priority
 // propagation path (client -> middle -> server, nested invocation); the
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +50,7 @@ func main() {
 	calls := flag.Int("calls", 5, "invocations to issue in the prio scenario")
 	frames := flag.Int("frames", 12, "frames to stream in the video scenario")
 	jsonl := flag.String("jsonl", "", "write every span as JSON lines to this file")
+	jsonMode := flag.Bool("json", false, "emit the exemplar traces as one JSON document instead of the report")
 	seed := flag.Int64("seed", 3, "simulation seed")
 	flag.Parse()
 
@@ -58,20 +66,29 @@ func main() {
 	}
 
 	ran := 0
+	var docs []traceDoc
 	if *scenario == "prio" || *scenario == "all" {
-		runPrio(*seed, *calls, sink)
+		docs = append(docs, runPrio(*seed, *calls, sink, *jsonMode)...)
 		ran++
 	}
 	if *scenario == "video" || *scenario == "all" {
-		if ran > 0 {
+		if ran > 0 && !*jsonMode {
 			fmt.Println()
 		}
-		runVideo(*seed, *frames, sink)
+		docs = append(docs, runVideo(*seed, *frames, sink, *jsonMode)...)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "qostrace: unknown scenario %q\n", *scenario)
 		os.Exit(2)
+	}
+	if *jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string][]traceDoc{"traces": docs}); err != nil {
+			fmt.Fprintln(os.Stderr, "qostrace: json:", err)
+			os.Exit(1)
+		}
 	}
 	if sink != nil && sink.Err() != nil {
 		fmt.Fprintln(os.Stderr, "qostrace: jsonl export:", sink.Err())
@@ -79,10 +96,67 @@ func main() {
 	}
 }
 
+// segmentJSON is one hop of a trace's critical path in the -json output.
+type segmentJSON struct {
+	Span     uint64 `json:"span"`
+	Name     string `json:"name"`
+	Layer    string `json:"layer"`
+	StartNs  int64  `json:"start_ns"`
+	EndNs    int64  `json:"end_ns"`
+	Duration int64  `json:"duration_ns"`
+}
+
+// shareJSON is one layer's share of a latency decomposition.
+type shareJSON struct {
+	Layer string `json:"layer"`
+	Ns    int64  `json:"ns"`
+}
+
+// traceDoc is the -json form of one exemplar trace: every span, the
+// blocking chain, and both per-layer decompositions.
+type traceDoc struct {
+	Scenario           string           `json:"scenario"`
+	Trace              uint64           `json:"trace"`
+	TotalNs            int64            `json:"total_ns"`
+	GuiltyLayer        string           `json:"guilty_layer,omitempty"`
+	Spans              []trace.SpanJSON `json:"spans"`
+	CriticalPath       []segmentJSON    `json:"critical_path"`
+	Breakdown          []shareJSON      `json:"breakdown"`
+	CriticalPathShares []shareJSON      `json:"critical_path_shares"`
+}
+
+// buildDoc assembles the JSON document for one trace.
+func buildDoc(scenario string, col *trace.Collector, id trace.TraceID) traceDoc {
+	doc := traceDoc{Scenario: scenario, Trace: uint64(id), GuiltyLayer: col.GuiltyLayer(id)}
+	for _, s := range col.Trace(id) {
+		doc.Spans = append(doc.Spans, trace.SpanToJSON(s))
+	}
+	for _, seg := range col.CriticalPath(id) {
+		doc.CriticalPath = append(doc.CriticalPath, segmentJSON{
+			Span:     uint64(seg.Span.ID),
+			Name:     seg.Span.Name,
+			Layer:    seg.Span.Layer,
+			StartNs:  int64(seg.Start),
+			EndNs:    int64(seg.End),
+			Duration: int64(seg.Duration()),
+		})
+	}
+	shares, total := col.Breakdown(id)
+	doc.TotalNs = int64(total)
+	for _, sh := range shares {
+		doc.Breakdown = append(doc.Breakdown, shareJSON{Layer: sh.Layer, Ns: int64(sh.Time)})
+	}
+	cshares, _ := col.CriticalPathShares(id)
+	for _, sh := range cshares {
+		doc.CriticalPathShares = append(doc.CriticalPathShares, shareJSON{Layer: sh.Layer, Ns: int64(sh.Time)})
+	}
+	return doc
+}
+
 // runPrio traces the Figure 2 priority-propagation path: a client on
 // QNX invokes a middle tier on LynxOS which invokes a back end on
 // Solaris, all at CORBA priority 100 over DiffServ EF.
-func runPrio(seed int64, calls int, sink *trace.JSONL) {
+func runPrio(seed int64, calls int, sink *trace.JSONL, jsonMode bool) []traceDoc {
 	sys := core.NewSystem(seed)
 	client := sys.AddMachine("client", rtos.HostConfig{Priorities: rtos.RangeQNX})
 	middle := sys.AddMachine("middle", rtos.HostConfig{Priorities: rtos.RangeLynxOS})
@@ -146,26 +220,30 @@ func runPrio(seed int64, calls int, sink *trace.JSONL) {
 
 	col := tr.Collector()
 	ids := col.TraceIDs()
-	fmt.Printf("== scenario prio: client -> middle -> server at CORBA priority 100 (%d invocations, %d traces, %d spans) ==\n\n",
-		calls, len(ids), col.Len())
 	if len(ids) == 0 {
-		return
+		return nil
 	}
 	// The last trace shows the steady state: connections on both hops
 	// are warm, so no setup cost pollutes the exemplar.
 	exemplar := ids[len(ids)-1]
+	if jsonMode {
+		return []traceDoc{buildDoc("prio", col, exemplar)}
+	}
+	fmt.Printf("== scenario prio: client -> middle -> server at CORBA priority 100 (%d invocations, %d traces, %d spans) ==\n\n",
+		calls, len(ids), col.Len())
 	fmt.Print(col.RenderTree(exemplar))
 	fmt.Println()
 	printBreakdown(col, exemplar)
 	fmt.Println()
 	fmt.Print(reg.Render())
+	return nil
 }
 
 // runVideo traces one Figure 3 pipeline: a sender streams MPEG frames
 // to a distributor that relays every frame to a display receiver at
 // full rate and to an ATR receiver thinned to I-frames only, while a
 // QuO contract watches delivered rate.
-func runVideo(seed int64, frames int, sink *trace.JSONL) {
+func runVideo(seed int64, frames int, sink *trace.JSONL, jsonMode bool) []traceDoc {
 	sys := core.NewSystem(seed)
 	uav := sys.AddMachine("uav", rtos.HostConfig{Hz: 750e6})
 	dist := sys.AddMachine("distributor", rtos.HostConfig{Hz: 1e9})
@@ -229,8 +307,6 @@ func runVideo(seed int64, frames int, sink *trace.JSONL) {
 
 	col := tr.Collector()
 	ids := col.TraceIDs()
-	fmt.Printf("== scenario video: uav -> distributor -> {station, atr} (%d frames sent, %d traces, %d spans) ==\n\n",
-		frames, len(ids), col.Len())
 
 	// Exemplar: the first frame trace (the contract owns its own trace).
 	var frameTrace, contractTrace trace.TraceID
@@ -246,6 +322,18 @@ func runVideo(seed int64, frames int, sink *trace.JSONL) {
 			contractTrace = id
 		}
 	}
+	if jsonMode {
+		var docs []traceDoc
+		if frameTrace != 0 {
+			docs = append(docs, buildDoc("video/frame", col, frameTrace))
+		}
+		if contractTrace != 0 {
+			docs = append(docs, buildDoc("video/contract", col, contractTrace))
+		}
+		return docs
+	}
+	fmt.Printf("== scenario video: uav -> distributor -> {station, atr} (%d frames sent, %d traces, %d spans) ==\n\n",
+		frames, len(ids), col.Len())
 	if frameTrace != 0 {
 		fmt.Print(col.RenderTree(frameTrace))
 		seen := make(map[string]bool)
@@ -268,6 +356,7 @@ func runVideo(seed int64, frames int, sink *trace.JSONL) {
 	}
 	fmt.Println()
 	fmt.Print(reg.Render())
+	return nil
 }
 
 // printBreakdown renders the critical-path per-layer decomposition of

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -45,6 +46,9 @@ const (
 	KindAlert Kind = "alert"
 	// KindSample marks a monitoring sampler tick.
 	KindSample Kind = "sample"
+	// KindSLOBurn is an SLO burn-rate window pair changing state
+	// (firing when both windows exceed the pair's burn threshold).
+	KindSLOBurn Kind = "slo_burn"
 )
 
 // Field is one ordered key/value annotation on a record.
@@ -82,14 +86,16 @@ func (r Record) String() string {
 
 // BusSub is one bus subscription; Cancel stops delivery.
 type BusSub struct {
-	id     uint64
-	kinds  map[Kind]bool // nil = all kinds
-	fn     func(Record)
-	active bool
+	id    uint64
+	kinds map[Kind]bool // nil = all kinds
+	fn    func(Record)
+	// cancelled is atomic: Cancel may run on any goroutine while
+	// publishers are reading the subscription list.
+	cancelled atomic.Bool
 }
 
 // Cancel stops delivery to this subscription.
-func (s *BusSub) Cancel() { s.active = false }
+func (s *BusSub) Cancel() { s.cancelled.Store(true) }
 
 // Bus is the monitoring event bus. It is safe for concurrent use; in a
 // simulation all publishes come from the kernel goroutine and are
@@ -111,7 +117,7 @@ func (b *Bus) Subscribe(fn func(Record), kinds ...Kind) *BusSub {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.seq++ // subscription ids share the sequence space; only order matters
-	s := &BusSub{id: b.seq, fn: fn, active: true}
+	s := &BusSub{id: b.seq, fn: fn}
 	if len(kinds) > 0 {
 		s.kinds = make(map[Kind]bool, len(kinds))
 		for _, k := range kinds {
@@ -138,7 +144,7 @@ func (b *Bus) PublishAt(at sim.Time, kind Kind, source string, fields ...Field) 
 	copy(subs, b.sub)
 	b.mu.Unlock()
 	for _, s := range subs {
-		if !s.active {
+		if s.cancelled.Load() {
 			continue
 		}
 		if s.kinds != nil && !s.kinds[kind] {

@@ -119,3 +119,49 @@ func TestBusConcurrentPublish(t *testing.T) {
 		seen[r.Seq] = true
 	}
 }
+
+// TestBusConcurrentSubscribeCancelPublish exercises the full concurrent
+// surface under -race: publishers racing against new subscriptions,
+// cancellations of a live subscription, and timeline reads. Delivery
+// counts for subscriptions created mid-stream are inherently racy; the
+// assertions only cover invariants (no lost sequence numbers, the
+// pre-existing timeline sees everything, cancelled subs eventually stop).
+func TestBusConcurrentSubscribeCancelPublish(t *testing.T) {
+	b := NewBus(sim.NewKernel(1))
+	tl := NewTimeline(b)
+	const publishers, per = 4, 300
+	var wg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < per; n++ {
+				b.PublishAt(sim.Time(n), KindAlert, "rule/x")
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				sub := b.Subscribe(func(Record) {}, KindAlert)
+				sub.Cancel()
+				_ = tl.Len()
+				_ = tl.Counts()
+			}
+		}()
+	}
+	wg.Wait()
+	if tl.Len() != publishers*per {
+		t.Fatalf("timeline has %d records, want %d", tl.Len(), publishers*per)
+	}
+	// A cancelled subscription receives nothing after Cancel returns.
+	var after int
+	sub := b.Subscribe(func(Record) { after++ }, KindAlert)
+	sub.Cancel()
+	b.PublishAt(0, KindAlert, "rule/x")
+	if after != 0 {
+		t.Fatalf("cancelled subscription still delivered %d records", after)
+	}
+}

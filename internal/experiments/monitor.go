@@ -50,6 +50,19 @@ const (
 	monitorFloodThreshold = 100.0
 )
 
+// traceCtxCapture is a client interceptor remembering the trace context
+// of the most recent completed invocation, so application-level metric
+// observations can be stamped with it as exemplars.
+type traceCtxCapture struct{ last trace.SpanContext }
+
+func (c *traceCtxCapture) SendRequest(*orb.ClientRequestInfo) {}
+
+func (c *traceCtxCapture) ReceiveReply(info *orb.ClientRequestInfo) {
+	if info.Err == nil && info.TraceCtx.Valid() {
+		c.last = info.TraceCtx
+	}
+}
+
 // MonitorResult is the measured outcome of the monitoring scenario.
 type MonitorResult struct {
 	Duration           time.Duration
@@ -133,6 +146,11 @@ func RunMonitor(opt Options) MonitorResult {
 	cliORB.EnableTracing(tr)
 	srvORB.EnableTracing(tr)
 	cliORB.AddClientInterceptor(&orb.TelemetryProbe{Reg: reg})
+	// Capture each invocation's trace context so the application's own
+	// rtt histogram can stamp observations with exemplars: every window
+	// of the dashboard series then names a concrete causal trace.
+	ctxCap := &traceCtxCapture{}
+	cliORB.AddClientInterceptor(ctxCap)
 	plane.WireORB(cliORB)
 
 	poa, err := srvORB.CreatePOA("app", orb.POAConfig{
@@ -233,7 +251,11 @@ func RunMonitor(opt Options) MonitorResult {
 			switch {
 			case err == nil:
 				r.OK++
-				rtt.Observe(float64(th.Now()-start) / float64(time.Millisecond))
+				rtt.ObserveEx(float64(th.Now()-start)/float64(time.Millisecond), telemetry.Exemplar{
+					TraceID: uint64(ctxCap.last.Trace),
+					SpanID:  uint64(ctxCap.last.Span),
+					At:      time.Duration(th.Now()),
+				})
 			case errors.Is(err, orb.ErrDeadlineExpired):
 				r.Deadline++
 			default:

@@ -52,6 +52,14 @@ func promEscape(v string) string {
 
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// promExemplar renders an OpenMetrics exemplar suffix: the `# {labels}
+// value timestamp` tail appended to a sample line, linking the metric
+// to the trace/span that produced its worst observation.
+func promExemplar(ex telemetry.Exemplar) string {
+	return fmt.Sprintf(`# {trace_id="%d",span_id="%d"} %s %s`,
+		ex.TraceID, ex.SpanID, promFloat(ex.Value), promFloat(ex.At.Seconds()))
+}
+
 // promLabels renders a label set (plus optional extra label) in
 // canonical order.
 func promLabels(labels []telemetry.Label, extra ...telemetry.Label) string {
@@ -113,6 +121,7 @@ func RenderProm(reg *telemetry.Registry) string {
 		h := reg.HistogramByKey(key)
 		sum := h.Summary()
 		total := h.Sum()
+		ex, hasEx := h.Exemplar()
 		add(key, "summary", func(name string, labels []telemetry.Label) []promSample {
 			var b strings.Builder
 			for _, q := range []struct {
@@ -124,7 +133,14 @@ func RenderProm(reg *telemetry.Registry) string {
 			}
 			ls := promLabels(labels)
 			b.WriteString(name + "_sum" + ls + " " + promFloat(total) + "\n")
-			b.WriteString(name + "_count" + ls + " " + strconv.FormatInt(int64(sum.N), 10) + "\n")
+			b.WriteString(name + "_count" + ls + " " + strconv.FormatInt(int64(sum.N), 10))
+			if hasEx {
+				// OpenMetrics exemplar: the worst cumulative observation tied
+				// to the trace that produced it, so a scrape links straight
+				// from a bad quantile to a concrete causal trace.
+				b.WriteString(" " + promExemplar(ex))
+			}
+			b.WriteString("\n")
 			return []promSample{{line: b.String(), sort: ls}}
 		})
 	}

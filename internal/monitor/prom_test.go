@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/trace/telemetry"
 )
@@ -91,6 +92,24 @@ func parseExposition(t *testing.T, text string) map[string]int {
 			t.Fatalf("line %d: bad metric name %q", ln+1, name)
 		}
 		rest = strings.TrimSpace(rest)
+		// OpenMetrics exemplar suffix: `value # {labels} ex_value [ts]`.
+		if hash := strings.Index(rest, "# {"); hash >= 0 {
+			exPart := strings.TrimSpace(rest[hash+1:])
+			rest = strings.TrimSpace(rest[:hash])
+			cl := strings.IndexByte(exPart, '}')
+			if !strings.HasPrefix(exPart, "{") || cl < 0 {
+				t.Fatalf("line %d: malformed exemplar label set %q", ln+1, exPart)
+			}
+			fields := strings.Fields(exPart[cl+1:])
+			if len(fields) < 1 || len(fields) > 2 {
+				t.Fatalf("line %d: exemplar needs value [timestamp], got %q", ln+1, exPart)
+			}
+			for _, f := range fields {
+				if _, err := strconv.ParseFloat(f, 64); err != nil {
+					t.Fatalf("line %d: bad exemplar number %q: %v", ln+1, f, err)
+				}
+			}
+		}
 		if _, err := strconv.ParseFloat(rest, 64); err != nil {
 			t.Fatalf("line %d: bad sample value %q: %v", ln+1, rest, err)
 		}
@@ -151,6 +170,29 @@ func TestRenderPromParses(t *testing.T) {
 	// Determinism.
 	if RenderProm(reg) != text {
 		t.Fatal("RenderProm not deterministic")
+	}
+}
+
+// TestRenderPromExemplars pins the OpenMetrics exemplar suffix: a
+// histogram whose observations carry trace contexts annotates its
+// _count sample with the max-value exemplar, and the result still
+// parses.
+func TestRenderPromExemplars(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("orb.rtt_ms", telemetry.L("op", "get"))
+	h.ObserveEx(10, telemetry.Exemplar{TraceID: 3, SpanID: 4, At: 250 * time.Millisecond})
+	h.ObserveEx(42, telemetry.Exemplar{TraceID: 7, SpanID: 9, At: 500 * time.Millisecond})
+	h.ObserveEx(17, telemetry.Exemplar{TraceID: 11, SpanID: 12, At: 750 * time.Millisecond})
+
+	text := RenderProm(reg)
+	parseExposition(t, text)
+	want := `orb_rtt_ms_count{op="get"} 3 # {trace_id="7",span_id="9"} 42 0.5`
+	if !strings.Contains(text, want) {
+		t.Fatalf("missing exemplar suffix %q:\n%s", want, text)
+	}
+	// Quantile lines stay exemplar-free (one exemplar per sample line).
+	if strings.Count(text, "# {") != 1 {
+		t.Fatalf("want exactly one exemplar:\n%s", text)
 	}
 }
 

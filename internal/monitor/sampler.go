@@ -179,8 +179,8 @@ func (s *Sampler) Tick() {
 		sr.Roll(start, end)
 	}
 	for _, key := range s.Reg.HistogramKeys() {
-		sum := s.Reg.HistogramByKey(key).TakeWindow()
-		s.get(key + ".window").Append(Window{Start: start, End: end, Summary: sum})
+		sum, ex, _ := s.Reg.HistogramByKey(key).TakeWindowEx()
+		s.get(key + ".window").Append(Window{Start: start, End: end, Summary: sum, Exemplar: ex})
 	}
 
 	if s.Bus != nil {

@@ -22,6 +22,10 @@ import (
 type Window struct {
 	Start, End sim.Time
 	metrics.Summary
+	// Exemplar links the window's worst observation to a concrete trace
+	// (histogram windows only; Valid() false when no observation in the
+	// window carried a trace context).
+	Exemplar telemetry.Exemplar
 }
 
 // Rate returns observations-weighted throughput: Sum over the window
@@ -192,8 +196,12 @@ func (s *Series) LastNonEmpty() (Window, bool) {
 // RenderTable renders the retained windows as a metrics.Table with one
 // row per window, the dashboard's figure-series form.
 func (s *Series) RenderTable(title string) *metrics.Table {
-	tb := metrics.NewTable(title, "t", "n", "mean", "p50", "p95", "p99", "max")
+	tb := metrics.NewTable(title, "t", "n", "mean", "p50", "p95", "p99", "max", "exemplar")
 	for _, w := range s.Windows() {
+		ex := "-"
+		if w.Exemplar.Valid() {
+			ex = fmt.Sprintf("trace=%d", w.Exemplar.TraceID)
+		}
 		tb.AddRow(
 			fmt.Sprint(time.Duration(w.End)),
 			fmt.Sprint(w.N),
@@ -202,6 +210,7 @@ func (s *Series) RenderTable(title string) *metrics.Table {
 			fmt.Sprintf("%.6g", w.P95),
 			fmt.Sprintf("%.6g", w.P99),
 			fmt.Sprintf("%.6g", w.Max),
+			ex,
 		)
 	}
 	return tb

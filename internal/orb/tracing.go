@@ -2,6 +2,7 @@ package orb
 
 import (
 	"strconv"
+	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/giop"
@@ -150,7 +151,19 @@ func (tp *TelemetryProbe) ReceiveReply(info *ClientRequestInfo) {
 		return
 	}
 	if !info.Oneway {
-		tp.Reg.Histogram("orb.rtt_ms", telemetry.L("op", info.Op), prioLabel(int(info.Priority))).
-			Observe(info.RTT.Seconds() * 1e3)
+		h := tp.Reg.Histogram("orb.rtt_ms", telemetry.L("op", info.Op), prioLabel(int(info.Priority)))
+		v := info.RTT.Seconds() * 1e3
+		if info.TraceCtx.Valid() {
+			// When tracing is on, stamp the observation with the invocation's
+			// span context so monitor exposition can emit exemplars linking
+			// bad latency quantiles to the trace that caused them.
+			h.ObserveEx(v, telemetry.Exemplar{
+				TraceID: uint64(info.TraceCtx.Trace),
+				SpanID:  uint64(info.TraceCtx.Span),
+				At:      time.Duration(info.SentAt + info.RTT),
+			})
+			return
+		}
+		h.Observe(v)
 	}
 }

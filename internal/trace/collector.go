@@ -9,16 +9,33 @@ import (
 )
 
 // Collector is the in-memory sink: it stores every ended span in
-// end-order (deterministic, since the simulation is deterministic).
+// end-order (deterministic, since the simulation is deterministic) and
+// maintains an incremental per-trace index, so per-trace queries do not
+// rescan the whole store.
+//
+// Spans may reach the collector in any end order — a child routinely
+// ends before its parent (a dispatch before the invoke that caused it),
+// and with oneway invocations the parent ends before its children. The
+// collector never drops such orphans: they are indexed under their
+// trace immediately and adopted into the tree the moment the parent
+// ends. A span whose parent never ends (still open, or sampled away)
+// stays queryable as the trace's effective root.
 type Collector struct {
-	spans []*Span
+	spans   []*Span
+	byTrace map[TraceID][]*Span
 }
 
 // NewCollector creates an empty collector.
-func NewCollector() *Collector { return &Collector{} }
+func NewCollector() *Collector { return &Collector{byTrace: make(map[TraceID][]*Span)} }
 
 // OnEnd implements Sink.
-func (c *Collector) OnEnd(s *Span) { c.spans = append(c.spans, s) }
+func (c *Collector) OnEnd(s *Span) {
+	c.spans = append(c.spans, s)
+	if c.byTrace == nil { // tolerate a zero-value Collector
+		c.byTrace = make(map[TraceID][]*Span)
+	}
+	c.byTrace[s.TraceID] = append(c.byTrace[s.TraceID], s)
+}
 
 // Spans returns all collected spans in end order.
 func (c *Collector) Spans() []*Span { return c.spans }
@@ -29,41 +46,43 @@ func (c *Collector) Len() int { return len(c.spans) }
 // Trace returns the spans belonging to one trace, in start order (ties
 // broken by span ID, which is mint order).
 func (c *Collector) Trace(id TraceID) []*Span {
-	var out []*Span
-	for _, s := range c.spans {
-		if s.TraceID == id {
-			out = append(out, s)
-		}
-	}
+	out := append([]*Span(nil), c.byTrace[id]...)
 	sortSpans(out)
 	return out
 }
 
 // TraceIDs returns the distinct trace IDs present, ascending.
 func (c *Collector) TraceIDs() []TraceID {
-	seen := make(map[TraceID]bool)
-	var out []TraceID
-	for _, s := range c.spans {
-		if !seen[s.TraceID] {
-			seen[s.TraceID] = true
-			out = append(out, s.TraceID)
-		}
+	out := make([]TraceID, 0, len(c.byTrace))
+	for id := range c.byTrace {
+		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Root returns the root span of a trace (the one without a parent), or
-// nil. If several parentless spans exist the earliest-started wins.
+// Root returns the root span of a trace: the one without a parent, or —
+// when the true root has not ended (out-of-order child-before-parent
+// delivery, an unfinished or sampled-away root) — the effective root:
+// the earliest-started span whose parent is absent from the trace. It
+// returns nil only for traces with no spans at all.
 func (c *Collector) Root(id TraceID) *Span {
-	var root *Span
-	for _, s := range c.Trace(id) {
+	spans := c.Trace(id)
+	byID := make(map[SpanID]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
 		if s.Parent == 0 {
-			root = s
-			break
+			return s
 		}
 	}
-	return root
+	for _, s := range spans {
+		if byID[s.Parent] == nil {
+			return s
+		}
+	}
+	return nil
 }
 
 func sortSpans(spans []*Span) {
@@ -101,8 +120,14 @@ func (c *Collector) RenderTree(id TraceID) string {
 	var walk func(s *Span, depth int)
 	walk = func(s *Span, depth int) {
 		indent := strings.Repeat("  ", depth)
-		fmt.Fprintf(&b, "%s- %s [%s] @%v +%v%s\n",
-			indent, s.Name, s.Layer, s.Start, s.Duration(), renderAttrs(s.Attrs))
+		orphan := ""
+		if s.Parent != 0 && byID[s.Parent] == nil {
+			// Parent span absent (still open or sampled away): render the
+			// subtree anyway, marked, instead of silently faking a root.
+			orphan = fmt.Sprintf(" (orphan of span %d)", s.Parent)
+		}
+		fmt.Fprintf(&b, "%s- %s [%s] @%v +%v%s%s\n",
+			indent, s.Name, s.Layer, s.Start, s.Duration(), orphan, renderAttrs(s.Attrs))
 		for _, ev := range s.Events {
 			fmt.Fprintf(&b, "%s    * %s @%v%s\n", indent, ev.Name, ev.T, renderAttrs(ev.Attrs))
 		}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Critical-path attribution: where Breakdown charges every instant of a
+// root span's window to the deepest span covering it (an exclusive-time
+// decomposition), CriticalPath walks the blocking chain — at every
+// moment, the one span whose completion the end-to-end latency was
+// actually waiting on. The two agree on strictly nested traces; they
+// differ when hops overlap (a pipelined relay, concurrent fan-out),
+// where exclusive time spreads blame across overlapping spans but the
+// blocking chain names the single span that gated progress.
+//
+// The walk is the classic backwards scan: starting from the root's end,
+// repeatedly pick the child that finished last before the cursor,
+// charge the gap between its end and the cursor to the parent, recurse
+// into the child, and move the cursor to the child's start. Segments
+// tile [root.Start, root.End] exactly, so per-layer shares sum to the
+// end-to-end latency just like Breakdown's.
+
+// PathSegment is one stretch of the blocking chain: between Start and
+// End, the trace's end-to-end latency was waiting on Span.
+type PathSegment struct {
+	Span       *Span
+	Start, End sim.Time
+}
+
+// Duration returns the segment length.
+func (ps PathSegment) Duration() sim.Time { return ps.End - ps.Start }
+
+// CriticalPath computes the blocking chain of a trace, in chronological
+// order. It returns nil if the trace has no ended root. Children ending
+// after their parent (oneway dispatches, late replies) are clipped to
+// the parent's window, and zero-length marker spans never appear on the
+// path.
+func (c *Collector) CriticalPath(id TraceID) []PathSegment {
+	root := c.Root(id)
+	if root == nil || !root.Ended() {
+		return nil
+	}
+	spans := c.Trace(id)
+	children := make(map[SpanID][]*Span)
+	byID := make(map[SpanID]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if !s.Ended() || s == root {
+			continue
+		}
+		if s.Parent != 0 && byID[s.Parent] != nil {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	// Walk order: child finishing last wins; ties go to the most
+	// recently minted span, matching Breakdown's tie rule.
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].End != kids[j].End {
+				return kids[i].End > kids[j].End
+			}
+			return kids[i].ID > kids[j].ID
+		})
+	}
+
+	var rev []PathSegment // built back-to-front, reversed before return
+	var walk func(s *Span, lo, hi sim.Time)
+	walk = func(s *Span, lo, hi sim.Time) {
+		cursor := hi
+		for _, k := range children[s.ID] {
+			if cursor <= lo {
+				break
+			}
+			kStart, kEnd := k.Start, k.End
+			if kStart < lo {
+				kStart = lo
+			}
+			if kEnd > cursor {
+				kEnd = cursor
+			}
+			if kEnd <= kStart {
+				continue
+			}
+			if kEnd < cursor {
+				rev = append(rev, PathSegment{Span: s, Start: kEnd, End: cursor})
+			}
+			walk(k, kStart, kEnd)
+			cursor = kStart
+		}
+		if cursor > lo {
+			rev = append(rev, PathSegment{Span: s, Start: lo, End: cursor})
+		}
+	}
+	walk(root, root.Start, root.End)
+
+	out := make([]PathSegment, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// CriticalPathShares aggregates the blocking chain into per-layer
+// shares (descending time, ties by layer name — the same shape as
+// Breakdown) plus the root's end-to-end duration. Shares sum exactly to
+// the total because path segments tile the root's window.
+func (c *Collector) CriticalPathShares(id TraceID) ([]LayerShare, sim.Time) {
+	segs := c.CriticalPath(id)
+	if segs == nil {
+		return nil, 0
+	}
+	root := c.Root(id)
+	shares := make(map[string]sim.Time)
+	for _, seg := range segs {
+		shares[seg.Span.Layer] += seg.Duration()
+	}
+	out := make([]LayerShare, 0, len(shares))
+	for layer, t := range shares {
+		out = append(out, LayerShare{Layer: layer, Time: t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Layer < out[j].Layer
+	})
+	return out, root.Duration()
+}
+
+// GuiltyLayer names the layer holding the largest critical-path share
+// of a trace — the paper's "which layer ate the deadline" reduced to a
+// single deterministic answer ("" if the trace has no ended root).
+func (c *Collector) GuiltyLayer(id TraceID) string {
+	shares, _ := c.CriticalPathShares(id)
+	if len(shares) == 0 {
+		return ""
+	}
+	return shares[0].Layer
+}
+
+// RenderCriticalPath prints the blocking chain, one deterministic line
+// per segment: offset, length, layer and span name.
+func (c *Collector) RenderCriticalPath(id TraceID) string {
+	segs := c.CriticalPath(id)
+	if segs == nil {
+		return fmt.Sprintf("trace %d: no ended root span, no critical path\n", id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path of trace %d (%d segments):\n", id, len(segs))
+	for _, seg := range segs {
+		fmt.Fprintf(&b, "  @%-12v +%-12v %-9s %s\n",
+			seg.Start, seg.Duration(), seg.Span.Layer, seg.Span.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// buildOverlapTrace constructs a trace where a deep child's tail
+// overlaps a sibling hop:
+//
+//	root [0, 10ms] orb
+//	  lane [1ms, 8ms] rtcorba
+//	    servant [2ms, 7ms] poa
+//	  hopB [6ms, 9ms] netsim   (overlaps servant's tail, ends last)
+//
+// The blocking chain walks backwards from the root's end: hopB gated
+// progress for its full 3ms, so servant's overlapped tail (6-7ms) never
+// appears on the path — whereas exclusive-time Breakdown charges that
+// instant to servant (the deepest cover). Exercised precisely below.
+func buildOverlapTrace(t *testing.T) (*Collector, TraceID) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	var root, lane, servant, hopB *Span
+	at(k, 0, func() { root = tr.StartRoot("invoke", LayerORB) })
+	at(k, 1*time.Millisecond, func() { lane = tr.StartChild(root.Context(), "lane", LayerRTCORBA) })
+	at(k, 2*time.Millisecond, func() { servant = tr.StartChild(lane.Context(), "servant", LayerPOA) })
+	at(k, 6*time.Millisecond, func() { hopB = tr.StartChild(root.Context(), "hopB", LayerNetsim) })
+	at(k, 7*time.Millisecond, func() { servant.Finish() })
+	at(k, 8*time.Millisecond, func() { lane.Finish() })
+	at(k, 9*time.Millisecond, func() { hopB.Finish() })
+	at(k, 10*time.Millisecond, func() { root.Finish() })
+	k.RunUntil(20 * time.Millisecond)
+	return tr.Collector(), root.TraceID
+}
+
+func TestCriticalPathTilesRootWindow(t *testing.T) {
+	col, id := buildOverlapTrace(t)
+	segs := col.CriticalPath(id)
+	if len(segs) == 0 {
+		t.Fatal("no critical path")
+	}
+	root := col.Root(id)
+	if segs[0].Start != root.Start || segs[len(segs)-1].End != root.End {
+		t.Fatalf("path does not span the root window: %v..%v vs %v..%v",
+			segs[0].Start, segs[len(segs)-1].End, root.Start, root.End)
+	}
+	var sum sim.Time
+	for i, seg := range segs {
+		if seg.End <= seg.Start {
+			t.Fatalf("segment %d has non-positive length: %+v", i, seg)
+		}
+		if i > 0 && seg.Start != segs[i-1].End {
+			t.Fatalf("gap between segment %d and %d: %v != %v", i-1, i, segs[i-1].End, seg.Start)
+		}
+		sum += seg.Duration()
+	}
+	if sum != root.Duration() {
+		t.Fatalf("segments sum to %v, want root duration %v", sum, root.Duration())
+	}
+}
+
+// TestCriticalPathVsBreakdownOnOverlap pins the sharper answer the
+// blocking chain gives when hops overlap: exclusive-time Breakdown
+// charges hopA only up to hopB's start (deepest-most-recent wins over
+// the overlap), while the critical path walks backwards from the root's
+// end and never visits hopA's tail at all — but both decompositions sum
+// exactly to the end-to-end latency.
+func TestCriticalPathVsBreakdownOnOverlap(t *testing.T) {
+	col, id := buildOverlapTrace(t)
+
+	segs := col.CriticalPath(id)
+	// Expected chain: invoke(0-1) lane(1-2) servant(2-6, clipped where
+	// hopB takes over) hopB(6-9) invoke(9-10).
+	want := []struct {
+		name   string
+		lo, hi time.Duration
+	}{
+		{"invoke", 0, 1 * time.Millisecond},
+		{"lane", 1 * time.Millisecond, 2 * time.Millisecond},
+		{"servant", 2 * time.Millisecond, 6 * time.Millisecond},
+		{"hopB", 6 * time.Millisecond, 9 * time.Millisecond},
+		{"invoke", 9 * time.Millisecond, 10 * time.Millisecond},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segments, want %d:\n%s", len(segs), len(want), col.RenderCriticalPath(id))
+	}
+	for i, w := range want {
+		if segs[i].Span.Name != w.name || segs[i].Start != w.lo || segs[i].End != w.hi {
+			t.Fatalf("segment %d = %s [%v,%v], want %s [%v,%v]",
+				i, segs[i].Span.Name, segs[i].Start, segs[i].End, w.name, w.lo, w.hi)
+		}
+	}
+
+	shares, total := col.CriticalPathShares(id)
+	var sum sim.Time
+	byLayer := make(map[string]sim.Time)
+	for _, sh := range shares {
+		sum += sh.Time
+		byLayer[sh.Layer] = sh.Time
+	}
+	if sum != total || total != 10*time.Millisecond {
+		t.Fatalf("shares sum %v, total %v, want both 10ms", sum, total)
+	}
+	// The blocking chain credits hopB its full 3ms and servant only 4ms
+	// (its 6-7ms tail never gated the end-to-end latency)...
+	if byLayer[LayerNetsim] != 3*time.Millisecond || byLayer[LayerPOA] != 4*time.Millisecond {
+		t.Fatalf("critical-path shares netsim=%v poa=%v, want 3ms/4ms",
+			byLayer[LayerNetsim], byLayer[LayerPOA])
+	}
+	// ...whereas exclusive time charges the 6-7ms overlap to servant
+	// (the deepest cover) and hopB only 2ms: same totals, genuinely
+	// different per-layer attribution.
+	bshares, btotal := col.Breakdown(id)
+	if btotal != total {
+		t.Fatalf("Breakdown total %v != critical-path total %v", btotal, total)
+	}
+	bByLayer := make(map[string]sim.Time)
+	for _, sh := range bshares {
+		bByLayer[sh.Layer] = sh.Time
+	}
+	if bByLayer[LayerNetsim] != 2*time.Millisecond || bByLayer[LayerPOA] != 5*time.Millisecond {
+		t.Fatalf("exclusive shares netsim=%v poa=%v, want 2ms/5ms",
+			bByLayer[LayerNetsim], bByLayer[LayerPOA])
+	}
+	if got := col.GuiltyLayer(id); got != LayerPOA {
+		t.Fatalf("GuiltyLayer = %q, want %q", got, LayerPOA)
+	}
+}
+
+// TestCriticalPathClipsLateChildren covers the oneway shape: the root
+// ends before its children (server dispatch, reply transit) do. Late
+// spans are clipped to the root window and the path still tiles it.
+func TestCriticalPathClipsLateChildren(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	var root, late *Span
+	at(k, 0, func() { root = tr.StartRoot("oneway", LayerORB) })
+	at(k, 1*time.Millisecond, func() { late = tr.StartChild(root.Context(), "dispatch", LayerPOA) })
+	at(k, 2*time.Millisecond, func() { root.Finish() })
+	at(k, 6*time.Millisecond, func() { late.Finish() })
+	k.RunUntil(10 * time.Millisecond)
+
+	col := tr.Collector()
+	segs := col.CriticalPath(root.TraceID)
+	var sum sim.Time
+	for _, seg := range segs {
+		sum += seg.Duration()
+		if seg.End > root.End {
+			t.Fatalf("segment extends past root end: %+v", seg)
+		}
+	}
+	if sum != root.Duration() {
+		t.Fatalf("clipped path sums to %v, want %v", sum, root.Duration())
+	}
+}
+
+// TestCollectorEffectiveRootForOrphans is the out-of-order regression
+// test: when children end but the true root has not (child-before-
+// parent delivery), the collector must not drop the subtree — Root
+// falls back to the effective root, RenderTree marks the orphan, and
+// once the parent ends the tree heals.
+func TestCollectorEffectiveRootForOrphans(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := NewTracer(k)
+	var root, child, grand *Span
+	at(k, 0, func() { root = tr.StartRoot("invoke", LayerORB) })
+	at(k, 1*time.Millisecond, func() { child = tr.StartChild(root.Context(), "hop", LayerNetsim) })
+	at(k, 2*time.Millisecond, func() { grand = tr.StartChild(child.Context(), "dispatch", LayerPOA) })
+	at(k, 3*time.Millisecond, func() { grand.Finish() })
+	at(k, 4*time.Millisecond, func() { child.Finish() })
+	k.RunUntil(5 * time.Millisecond)
+
+	col := tr.Collector()
+	id := root.TraceID
+	// Root still open: the child subtree must remain usable, not dropped.
+	if got := col.Root(id); got == nil || got.ID != child.ID {
+		t.Fatalf("effective root = %v, want the orphaned child %d", got, child.ID)
+	}
+	tree := col.RenderTree(id)
+	if !strings.Contains(tree, "orphan of span 1") {
+		t.Fatalf("orphan subtree not marked in tree:\n%s", tree)
+	}
+	if !strings.Contains(tree, "dispatch") {
+		t.Fatalf("orphan's children missing from tree:\n%s", tree)
+	}
+	// The effective root has ended, so attribution works mid-trace too.
+	if shares, total := col.CriticalPathShares(id); total == 0 || len(shares) == 0 {
+		t.Fatal("no critical path through the effective root")
+	}
+
+	// Parent ends: the orphan is adopted and the true root takes over.
+	at(k, 6*time.Millisecond, func() { root.Finish() })
+	k.RunUntil(10 * time.Millisecond)
+	if got := col.Root(id); got == nil || got.ID != root.ID {
+		t.Fatalf("root after parent end = %v, want %d", got, root.ID)
+	}
+	if tree := col.RenderTree(id); strings.Contains(tree, "orphan") {
+		t.Fatalf("healed tree still marked orphan:\n%s", tree)
+	}
+}

@@ -30,18 +30,25 @@ func (j *JSONL) Err() error {
 	return j.err
 }
 
-type jsonAttr struct {
+// AttrJSON is the wire form of one span or event attribute.
+type AttrJSON struct {
 	K string `json:"k"`
 	V string `json:"v"`
 }
 
-type jsonEvent struct {
+// EventJSON is the wire form of one timestamped span event.
+type EventJSON struct {
 	T     int64      `json:"t_ns"`
 	Name  string     `json:"name"`
-	Attrs []jsonAttr `json:"attrs,omitempty"`
+	Attrs []AttrJSON `json:"attrs,omitempty"`
 }
 
-type jsonSpan struct {
+// SpanJSON is the machine-readable form of one ended span, shared by
+// the JSONL exporter and qostrace's -json output so trace shapes can be
+// diffed across runs. Field order follows the struct definition and
+// attribute slices preserve insertion order, so marshalling is
+// deterministic.
+type SpanJSON struct {
 	Trace  uint64      `json:"trace"`
 	Span   uint64      `json:"span"`
 	Parent uint64      `json:"parent,omitempty"`
@@ -49,29 +56,24 @@ type jsonSpan struct {
 	Layer  string      `json:"layer"`
 	Start  int64       `json:"start_ns"`
 	End    int64       `json:"end_ns"`
-	Attrs  []jsonAttr  `json:"attrs,omitempty"`
-	Events []jsonEvent `json:"events,omitempty"`
+	Attrs  []AttrJSON  `json:"attrs,omitempty"`
+	Events []EventJSON `json:"events,omitempty"`
 }
 
-func toJSONAttrs(attrs []Attr) []jsonAttr {
+func toJSONAttrs(attrs []Attr) []AttrJSON {
 	if len(attrs) == 0 {
 		return nil
 	}
-	out := make([]jsonAttr, len(attrs))
+	out := make([]AttrJSON, len(attrs))
 	for i, a := range attrs {
-		out[i] = jsonAttr{K: a.Key, V: a.Val}
+		out[i] = AttrJSON{K: a.Key, V: a.Val}
 	}
 	return out
 }
 
-// OnEnd implements Sink.
-func (j *JSONL) OnEnd(s *Span) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.err != nil {
-		return
-	}
-	dto := jsonSpan{
+// SpanToJSON converts a span to its wire form.
+func SpanToJSON(s *Span) SpanJSON {
+	dto := SpanJSON{
 		Trace:  uint64(s.TraceID),
 		Span:   uint64(s.ID),
 		Parent: uint64(s.Parent),
@@ -82,9 +84,19 @@ func (j *JSONL) OnEnd(s *Span) {
 		Attrs:  toJSONAttrs(s.Attrs),
 	}
 	for _, ev := range s.Events {
-		dto.Events = append(dto.Events, jsonEvent{T: int64(ev.T), Name: ev.Name, Attrs: toJSONAttrs(ev.Attrs)})
+		dto.Events = append(dto.Events, EventJSON{T: int64(ev.T), Name: ev.Name, Attrs: toJSONAttrs(ev.Attrs)})
 	}
-	buf, err := json.Marshal(dto)
+	return dto
+}
+
+// OnEnd implements Sink.
+func (j *JSONL) OnEnd(s *Span) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	buf, err := json.Marshal(SpanToJSON(s))
 	if err != nil {
 		j.err = err
 		return

@@ -19,9 +19,26 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 )
+
+// Exemplar links one histogram observation back to the concrete trace
+// that produced it — the bridge from an aggregate bucket or percentile
+// to a causal span tree. IDs are plain integers (not trace package
+// types) so telemetry stays decoupled from the tracer.
+type Exemplar struct {
+	// TraceID / SpanID reference the span whose measurement this is.
+	TraceID, SpanID uint64
+	// Value is the observed value the exemplar annotates.
+	Value float64
+	// At is the virtual time of the observation.
+	At time.Duration
+}
+
+// Valid reports whether the exemplar references a real span.
+func (e Exemplar) Valid() bool { return e.TraceID != 0 && e.SpanID != 0 }
 
 // Label is one key=value dimension of an instrument.
 type Label struct {
@@ -245,6 +262,11 @@ type Histogram struct {
 	mu  sync.Mutex
 	cum *Reservoir
 	win *Reservoir
+
+	// Max-value exemplars: the worst observation seen, cumulatively and
+	// within the current window — the tail sample an adaptive trace
+	// sampler is most likely to have kept.
+	cumEx, winEx Exemplar
 }
 
 func (h *Histogram) init() {
@@ -261,6 +283,34 @@ func (h *Histogram) Observe(v float64) {
 	h.cum.Observe(v)
 	h.win.Observe(v)
 	h.mu.Unlock()
+}
+
+// ObserveEx records one sample carrying its trace context. The
+// histogram retains the max-valued exemplar per window and cumulatively
+// (first-seen wins on exact ties, so runs are deterministic).
+func (h *Histogram) ObserveEx(v float64, ex Exemplar) {
+	ex.Value = v
+	h.mu.Lock()
+	h.init()
+	h.cum.Observe(v)
+	h.win.Observe(v)
+	if ex.Valid() {
+		if !h.cumEx.Valid() || v > h.cumEx.Value {
+			h.cumEx = ex
+		}
+		if !h.winEx.Valid() || v > h.winEx.Value {
+			h.winEx = ex
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Exemplar returns the cumulative max-value exemplar, if any
+// observation carried a trace context.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cumEx, h.cumEx.Valid()
 }
 
 // Count returns the number of samples observed.
@@ -308,14 +358,23 @@ func (h *Histogram) Summary() metrics.Summary {
 // (or since creation) and resets the window, leaving the cumulative
 // distribution untouched.
 func (h *Histogram) TakeWindow() metrics.Summary {
+	s, _, _ := h.TakeWindowEx()
+	return s
+}
+
+// TakeWindowEx is TakeWindow plus the window's max-value exemplar (ok
+// reports whether any observation in the window carried one).
+func (h *Histogram) TakeWindowEx() (metrics.Summary, Exemplar, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.win == nil {
-		return metrics.Summary{}
+		return metrics.Summary{}, Exemplar{}, false
 	}
 	s := h.win.Summary()
 	h.win.Reset()
-	return s
+	ex := h.winEx
+	h.winEx = Exemplar{}
+	return s, ex, ex.Valid()
 }
 
 // Registry holds labeled instruments, created on first use. It is safe

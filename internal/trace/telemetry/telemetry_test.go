@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -238,5 +239,51 @@ func TestRegistryConcurrentUse(t *testing.T) {
 	wg.Wait()
 	if got := r.Counter("reqs", L("op", "echo")).Value(); got != 2000 {
 		t.Fatalf("counter = %v, want 2000", got)
+	}
+}
+
+// TestHistogramExemplars pins exemplar semantics: max-value wins,
+// first-seen wins exact ties, window exemplars drain independently of
+// the cumulative one, and untagged observations never produce one.
+func TestHistogramExemplars(t *testing.T) {
+	h := &Histogram{}
+	if _, ok := h.Exemplar(); ok {
+		t.Fatal("empty histogram has an exemplar")
+	}
+	h.Observe(99) // untagged: affects the distribution, never the exemplar
+	h.ObserveEx(10, Exemplar{TraceID: 1, SpanID: 1, At: time.Millisecond})
+	h.ObserveEx(42, Exemplar{TraceID: 2, SpanID: 2, At: 2 * time.Millisecond})
+	h.ObserveEx(42, Exemplar{TraceID: 3, SpanID: 3, At: 3 * time.Millisecond}) // tie: first wins
+	h.ObserveEx(17, Exemplar{TraceID: 4, SpanID: 4, At: 4 * time.Millisecond})
+
+	ex, ok := h.Exemplar()
+	if !ok || ex.TraceID != 2 || ex.SpanID != 2 || ex.Value != 42 {
+		t.Fatalf("cumulative exemplar = %+v ok=%v, want trace 2 value 42", ex, ok)
+	}
+
+	sum, wex, ok := h.TakeWindowEx()
+	if sum.N != 5 {
+		t.Fatalf("window N = %d, want 5", sum.N)
+	}
+	if !ok || wex.TraceID != 2 || wex.Value != 42 {
+		t.Fatalf("window exemplar = %+v ok=%v, want trace 2 value 42", wex, ok)
+	}
+
+	// New window: its exemplar is independent; cumulative keeps the max.
+	h.ObserveEx(5, Exemplar{TraceID: 9, SpanID: 9, At: 5 * time.Millisecond})
+	if _, wex, ok = h.TakeWindowEx(); !ok || wex.TraceID != 9 || wex.Value != 5 {
+		t.Fatalf("second window exemplar = %+v ok=%v, want trace 9 value 5", wex, ok)
+	}
+	if ex, ok = h.Exemplar(); !ok || ex.TraceID != 2 {
+		t.Fatalf("cumulative exemplar after drain = %+v ok=%v, want trace 2", ex, ok)
+	}
+
+	// An invalid exemplar (no span context) is ignored even at a new max.
+	h.ObserveEx(1000, Exemplar{})
+	if ex, _ = h.Exemplar(); ex.TraceID != 2 {
+		t.Fatalf("invalid exemplar replaced the real one: %+v", ex)
+	}
+	if _, _, ok = h.TakeWindowEx(); ok {
+		t.Fatal("window exemplar set by an invalid observation")
 	}
 }
