@@ -24,10 +24,11 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, verify")
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, wire, verify (wire and verify are explicit-only)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = paper scale)")
 	series := flag.Bool("series", false, "dump raw latency series for fig4/fig5/fig6")
@@ -133,6 +134,20 @@ func main() {
 		fmt.Println(experiments.RenderAblations(experiments.RunAblations(opt)))
 		ran++
 	}
+	// "wire" is explicit-only (not part of -run all): it opens real
+	// localhost TCP sockets and burns wall-clock time, unlike the
+	// virtual-time experiments above.
+	if *run == "wire" {
+		o := wire.BenchOptions{Duration: *duration}
+		res, err := wire.RunBench(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wire bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		emit("wire", wireStats(res))
+		ran++
+	}
 	if *run == "verify" {
 		checks := experiments.Verify(opt)
 		fmt.Println(experiments.RenderChecks(checks))
@@ -209,6 +224,35 @@ func seriesStat(scenario string, s *metrics.Series, sum metrics.Summary) benchSt
 		}
 	}
 	return st
+}
+
+// wireStats reports the real-socket wire benchmark: wall-clock
+// percentiles per class (ClassReport latencies are already ms),
+// throughput as completed calls per second, and the best-effort
+// class's server-side shed fraction (admission refusals + deadline
+// sheds over offered load) — the EF entry should show a p99 far below
+// the BE entry's.
+func wireStats(r *wire.BenchResult) []benchStat {
+	ef := benchStat{
+		Scenario:   "wire EF (expedited, wall clock)",
+		Samples:    int(r.EF.OK),
+		P50Ms:      r.EF.Latency.P50,
+		P95Ms:      r.EF.Latency.P95,
+		P99Ms:      r.EF.Latency.P99,
+		Throughput: r.EF.Throughput,
+	}
+	be := benchStat{
+		Scenario:   "wire BE (best-effort, wall clock)",
+		Samples:    int(r.BE.OK),
+		P50Ms:      r.BE.Latency.P50,
+		P95Ms:      r.BE.Latency.P95,
+		P99Ms:      r.BE.Latency.P99,
+		Throughput: r.BE.Throughput,
+	}
+	if r.BE.Offered > 0 {
+		be.ShedRate = (r.Refused + r.Shed) / float64(r.BE.Offered)
+	}
+	return []benchStat{ef, be}
 }
 
 // prioStats reports both receiver flows of a DiffServ priority case.

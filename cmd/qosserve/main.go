@@ -1,0 +1,95 @@
+// qosserve is the real-socket QoS server: a wire.Server on actual TCP
+// with an expedited and a best-effort priority lane, an echo servant
+// and a media-frame servant, and an optional live /metrics + pprof
+// endpoint. It is the process qoscall generates load against — the
+// wall-clock counterpart of the simulated experiments.
+//
+//	qosserve -addr 127.0.0.1:7316 -metrics 127.0.0.1:9316
+//	qoscall  -addr 127.0.0.1:7316 -duration 5s
+//
+// The servant pair mirrors the repo's simulated workloads: app/echo
+// returns the request body after -service worth of work (the imager
+// shape), app/media returns a -frame-size byte frame (the AV-streams
+// shape), so EF/BE tail separation measured here is directly comparable
+// to the virtual-time figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/trace/telemetry"
+	"repro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7316", "TCP listen address")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (empty = off)")
+	efWorkers := flag.Int("ef-workers", 2, "workers in the expedited lane")
+	beWorkers := flag.Int("be-workers", 1, "workers in the best-effort lane")
+	queue := flag.Int("queue", 256, "per-lane queue limit (full lanes shed with TRANSIENT)")
+	service := flag.Duration("service", time.Millisecond, "simulated per-request service time")
+	frameSize := flag.Int("frame-size", 32<<10, "app/media reply frame size in bytes")
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	tracer := wire.NewTracer()
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Lanes: []wire.LaneConfig{
+			{Priority: 0, Workers: *beWorkers, QueueLimit: *queue},
+			{Priority: wire.EFPriority, Workers: *efWorkers, QueueLimit: *queue},
+		},
+		Registry: reg,
+		Tracer:   tracer,
+		Name:     "qosserve",
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qosserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	work := *service
+	srv.Register("app/echo", wire.HandlerFunc(func(req *wire.Request) ([]byte, error) {
+		time.Sleep(work)
+		return req.Body, nil
+	}))
+	frame := make([]byte, *frameSize)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	srv.Register("app/media", wire.HandlerFunc(func(req *wire.Request) ([]byte, error) {
+		time.Sleep(work)
+		return frame, nil
+	}))
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qosserve: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("qosserve: listening on %s (EF lane floor %d: %d workers; BE lane: %d workers; queue %d)\n",
+		bound, wire.EFPriority, *efWorkers, *beWorkers, *queue)
+
+	if *metricsAddr != "" {
+		maddr, stop, err := monitor.StartHTTP(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qosserve: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("qosserve: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", maddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("qosserve: draining...")
+	srv.Shutdown(5 * time.Second)
+	fmt.Printf("qosserve: done; accepted %g connections, %d spans collected\n",
+		reg.Counter("wire.server.accepts").Value(), tracer.Len())
+}

@@ -1,0 +1,202 @@
+// Package breaker implements the client-side circuit-breaker state
+// machine shared by the simulated ORB (internal/orb) and the
+// real-socket wire plane (internal/wire). The machine itself is
+// clock-agnostic: callers inject a nanosecond clock (the simulation
+// kernel's virtual clock, or time.Now) and a jitter source (a seeded
+// per-client stream for deterministic scenarios, or a real RNG), so the
+// identical open/half-open/probe/cooldown-doubling behaviour governs
+// both virtual-time failover experiments and live TCP reconnects.
+//
+// Behaviour (unchanged from the original internal/orb implementation):
+// after Threshold consecutive classified failures to one endpoint its
+// circuit opens and traffic is refused without spending an attempt.
+// After a cooldown one probe is let through (half-open); success
+// re-closes the circuit, failure re-opens it with the cooldown doubled
+// (capped), so an endpoint that stays sick is probed at a decaying rate
+// instead of hammered. Probe instants carry jitter in [0, cooldown/4)
+// so distinct clients desynchronise their probes.
+package breaker
+
+import (
+	"sync"
+	"time"
+)
+
+// State is one endpoint's circuit state.
+type State int
+
+const (
+	// Closed admits traffic normally.
+	Closed State = iota
+	// Open rejects traffic until the cooldown elapses.
+	Open
+	// HalfOpen has one probe invocation in flight; its outcome decides
+	// between re-closing and re-opening.
+	HalfOpen
+)
+
+// String returns the conventional state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterises a machine.
+type Config struct {
+	// Threshold is the number of consecutive classified failures to one
+	// endpoint before its circuit opens.
+	Threshold int
+	// Cooldown is the initial open interval before a half-open probe is
+	// allowed; it doubles on each failed probe up to CooldownCap.
+	Cooldown time.Duration
+	// CooldownCap bounds the doubled cooldown.
+	CooldownCap time.Duration
+}
+
+// Transition records one circuit state change. At is in the injected
+// clock's nanoseconds (virtual time under a simulation kernel, wall
+// time under time.Now), so callers translate it into their own domain.
+type Transition struct {
+	At       int64
+	Endpoint string
+	From, To State
+}
+
+// entry is the per-endpoint circuit.
+type entry struct {
+	state    State
+	fails    int           // consecutive classified failures while closed
+	until    int64         // open: earliest instant a probe may go out
+	cooldown time.Duration // current open interval (doubles on failed probes)
+}
+
+// Machine tracks circuit state for a set of endpoints, keyed by an
+// opaque endpoint string. It is safe for concurrent use: the wire
+// plane's client goroutines share one machine per destination, while
+// the simulated ORB drives it from the single kernel goroutine.
+type Machine struct {
+	mu      sync.Mutex
+	cfg     Config
+	now     func() int64
+	jitter  func(n int64) int64
+	entries map[string]*entry
+}
+
+// New creates a machine reading time from now (nanoseconds) and probe
+// jitter from jitter (uniform in [0, n); nil disables jitter).
+func New(cfg Config, now func() int64, jitter func(n int64) int64) *Machine {
+	return &Machine{cfg: cfg, now: now, jitter: jitter, entries: make(map[string]*entry)}
+}
+
+func (m *Machine) entryFor(ep string) *entry {
+	e, ok := m.entries[ep]
+	if !ok {
+		e = &entry{cooldown: m.cfg.Cooldown}
+		m.entries[ep] = e
+	}
+	return e
+}
+
+// transition flips e to the given state and returns the record.
+func (m *Machine) transition(ep string, e *entry, to State) Transition {
+	tr := Transition{At: m.now(), Endpoint: ep, From: e.state, To: to}
+	e.state = to
+	return tr
+}
+
+// open moves the circuit to open, scheduling the next probe at cooldown
+// plus jitter in [0, cooldown/4).
+func (m *Machine) open(ep string, e *entry) Transition {
+	j := int64(0)
+	if m.jitter != nil && e.cooldown >= 4 {
+		j = m.jitter(int64(e.cooldown / 4))
+	}
+	e.until = m.now() + int64(e.cooldown) + j
+	return m.transition(ep, e, Open)
+}
+
+// Allow reports whether an invocation to ep may proceed. When an open
+// circuit's cooldown has elapsed it flips to half-open and admits the
+// calling invocation as the single probe; the resulting transition is
+// returned with changed=true so callers can log it.
+func (m *Machine) Allow(ep string) (ok bool, tr Transition, changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entryFor(ep)
+	switch e.state {
+	case Closed:
+		return true, Transition{}, false
+	case Open:
+		if m.now() >= e.until {
+			return true, m.transition(ep, e, HalfOpen), true
+		}
+		return false, Transition{}, false
+	default: // HalfOpen: the probe is already in flight
+		return false, Transition{}, false
+	}
+}
+
+// Record feeds an invocation outcome (failed = a classified breaker
+// failure; the caller decides classification) into ep's circuit. A
+// resulting state change is returned with changed=true.
+func (m *Machine) Record(ep string, failed bool) (tr Transition, changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entryFor(ep)
+	switch e.state {
+	case Closed:
+		if !failed {
+			e.fails = 0
+			return Transition{}, false
+		}
+		e.fails++
+		if e.fails >= m.cfg.Threshold {
+			return m.open(ep, e), true
+		}
+		return Transition{}, false
+	case HalfOpen:
+		if failed {
+			// Failed probe: back to open with the cooldown doubled.
+			e.cooldown *= 2
+			if e.cooldown > m.cfg.CooldownCap {
+				e.cooldown = m.cfg.CooldownCap
+			}
+			return m.open(ep, e), true
+		}
+		// The endpoint recovered: admit traffic again from scratch.
+		e.fails = 0
+		e.cooldown = m.cfg.Cooldown
+		return m.transition(ep, e, Closed), true
+	default: // Open: a straggler outcome from before the circuit opened
+		return Transition{}, false
+	}
+}
+
+// State returns the circuit state for ep (Closed if never recorded).
+func (m *Machine) State(ep string) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[ep]; ok {
+		return e.state
+	}
+	return Closed
+}
+
+// Cooldown returns ep's current open interval — Config.Cooldown until a
+// probe fails, then doubled per failed probe up to the cap.
+func (m *Machine) Cooldown(ep string) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[ep]; ok {
+		return e.cooldown
+	}
+	return m.cfg.Cooldown
+}

@@ -1,0 +1,119 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// drive pins the full closed → open → half-open → open (doubled
+// cooldown) → half-open → closed journey against a manual clock.
+func TestMachineStateJourney(t *testing.T) {
+	now := int64(0)
+	m := New(Config{Threshold: 3, Cooldown: 100, CooldownCap: 400},
+		func() int64 { return now }, nil)
+
+	// Below threshold the circuit stays closed; a success resets the run.
+	m.Record("a", true)
+	m.Record("a", true)
+	m.Record("a", false)
+	m.Record("a", true)
+	m.Record("a", true)
+	if got := m.State("a"); got != Closed {
+		t.Fatalf("state after interrupted failure runs = %v, want closed", got)
+	}
+
+	// Threshold consecutive failures open it.
+	if tr, changed := m.Record("a", true); !changed || tr.From != Closed || tr.To != Open {
+		t.Fatalf("third failure transition = %+v changed=%v, want closed>open", tr, changed)
+	}
+	if ok, _, _ := m.Allow("a"); ok {
+		t.Fatal("open circuit admitted traffic before cooldown")
+	}
+
+	// After the cooldown one probe is admitted (half-open), and only one.
+	now = 100
+	ok, tr, changed := m.Allow("a")
+	if !ok || !changed || tr.To != HalfOpen {
+		t.Fatalf("post-cooldown Allow = %v %+v %v, want probe admitted", ok, tr, changed)
+	}
+	if ok, _, _ := m.Allow("a"); ok {
+		t.Fatal("half-open circuit admitted a second concurrent probe")
+	}
+
+	// Failed probe: open again with the cooldown doubled.
+	if tr, changed := m.Record("a", true); !changed || tr.To != Open {
+		t.Fatalf("failed probe transition = %+v changed=%v, want >open", tr, changed)
+	}
+	if got := m.Cooldown("a"); got != 200 {
+		t.Fatalf("cooldown after failed probe = %v, want doubled to 200ns", got)
+	}
+	now = 250
+	if ok, _, _ := m.Allow("a"); ok {
+		t.Fatal("re-opened circuit admitted traffic before the doubled cooldown")
+	}
+	now = 300
+	if ok, _, _ := m.Allow("a"); !ok {
+		t.Fatal("doubled cooldown elapsed but probe refused")
+	}
+
+	// Successful probe: closed again, cooldown reset.
+	if tr, changed := m.Record("a", false); !changed || tr.To != Closed {
+		t.Fatalf("successful probe transition = %+v changed=%v, want >closed", tr, changed)
+	}
+	if got := m.Cooldown("a"); got != 100 {
+		t.Fatalf("cooldown after recovery = %v, want reset to 100ns", got)
+	}
+}
+
+// The cooldown doubling saturates at the cap, and jitter widens the
+// probe instant by at most cooldown/4.
+func TestMachineCooldownCapAndJitter(t *testing.T) {
+	now := int64(0)
+	jittered := 0
+	m := New(Config{Threshold: 1, Cooldown: 100, CooldownCap: 150},
+		func() int64 { return now },
+		func(n int64) int64 { jittered++; return n - 1 })
+	m.Record("a", true) // opens; probe at 100 + jitter(25)-ish
+	if ok, _, _ := m.Allow("a"); ok {
+		t.Fatal("admitted during jittered cooldown")
+	}
+	now = 124
+	if ok, _, _ := m.Allow("a"); !ok {
+		t.Fatal("probe refused after cooldown+jitter")
+	}
+	m.Record("a", true) // failed probe: cooldown doubles but caps at 150
+	if got := m.Cooldown("a"); got != 150 {
+		t.Fatalf("cooldown = %v, want capped at 150ns", got)
+	}
+	if jittered == 0 {
+		t.Fatal("jitter source never consulted")
+	}
+}
+
+// Endpoints are independent, and the machine tolerates concurrent use —
+// the wire client's goroutines share one machine per destination.
+func TestMachineConcurrent(t *testing.T) {
+	m := New(Config{Threshold: 2, Cooldown: time.Hour, CooldownCap: time.Hour},
+		func() int64 { return time.Now().UnixNano() }, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.Allow("sick")
+				m.Record("sick", true)
+				m.Allow("healthy")
+				m.Record("healthy", false)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.State("sick"); got != Open {
+		t.Fatalf("sick endpoint = %v, want open", got)
+	}
+	if got := m.State("healthy"); got != Closed {
+		t.Fatalf("healthy endpoint = %v, want closed", got)
+	}
+}

@@ -1,0 +1,82 @@
+package giop
+
+// Wire framing: GIOP messages are self-delimiting — a fixed 12-byte
+// header whose last field is the body length — so reading one message
+// off a byte stream means reading the header, validating it, then
+// reading exactly the declared remainder. ReadFrame is that framer,
+// shared by the real-socket wire plane (internal/wire) and any test
+// that replays captured bytes. It is deliberately tolerant of partial
+// reads (io.ReadFull absorbs however the kernel fragments the stream)
+// and deliberately intolerant of hostile length prefixes: the declared
+// size is checked against a cap before any allocation, so a corrupted
+// or malicious 4-GiB length cannot make the reader allocate unbounded
+// memory.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxMessage is the default cap on one GIOP message's declared
+// body size (header excluded). 8 MiB comfortably covers every payload
+// this repository produces (media frames included) while bounding what
+// a hostile peer can make a reader allocate.
+const DefaultMaxMessage = 8 << 20
+
+// ErrTooLarge means a message declared a body size beyond the reader's
+// cap. The connection is unrecoverable: the stream position is inside
+// an oversized message, so the only safe response is MessageError and
+// close.
+var ErrTooLarge = errors.New("giop: message exceeds size cap")
+
+// ReadFrame reads one complete GIOP message (header plus body) from r.
+// The header is validated (magic, version) and the declared body size
+// checked against max (0 selects DefaultMaxMessage) before the body is
+// read or any body-sized buffer allocated. scratch, when non-nil, is
+// reused as the destination if it has the capacity — the wire plane
+// passes sync.Pool buffers here so steady-state reads allocate nothing.
+//
+// A clean end of stream before any header byte returns io.EOF
+// unwrapped, so callers can distinguish an orderly close from a
+// truncated message (io.ErrUnexpectedEOF wrapped in ErrBadMessage).
+func ReadFrame(r io.Reader, max uint32, scratch []byte) ([]byte, error) {
+	if max == 0 {
+		max = DefaultMaxMessage
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadMessage, err)
+	}
+	if !bytes.Equal(hdr[0:4], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != VersionMajor || hdr[5] != VersionMinor {
+		return nil, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
+	}
+	var size uint32
+	if hdr[6]&1 == 1 {
+		size = uint32(hdr[8]) | uint32(hdr[9])<<8 | uint32(hdr[10])<<16 | uint32(hdr[11])<<24
+	} else {
+		size = uint32(hdr[11]) | uint32(hdr[10])<<8 | uint32(hdr[9])<<16 | uint32(hdr[8])<<24
+	}
+	if size > max {
+		return nil, fmt.Errorf("%w: declared %d bytes, cap %d", ErrTooLarge, size, max)
+	}
+	total := HeaderSize + int(size)
+	buf := scratch
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	} else {
+		buf = buf[:total]
+	}
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[HeaderSize:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated body (%d declared): %v", ErrBadMessage, size, err)
+	}
+	return buf, nil
+}

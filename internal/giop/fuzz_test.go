@@ -3,6 +3,7 @@ package giop
 import (
 	"encoding/binary"
 	"errors"
+	"io"
 	"testing"
 
 	"repro/internal/cdr"
@@ -101,6 +102,21 @@ func TestDecodeOversizedInnerLengths(t *testing.T) {
 	}
 }
 
+// frameSeeds are the wire-framing corpus: shapes the real-socket framer
+// must survive — truncated length prefixes, headers that arrive split
+// across reads, and hostile declared lengths far beyond the stream.
+func frameSeeds() [][]byte {
+	wire := validRequest(cdr.LittleEndian)
+	truncated := append([]byte(nil), wire[:8]...) // cut inside the length prefix
+	oversized := append([]byte(nil), wire...)
+	binary.LittleEndian.PutUint32(oversized[8:12], 0xFFFF_FFF0)
+	justOver := append([]byte(nil), wire...)
+	binary.LittleEndian.PutUint32(justOver[8:12], DefaultMaxMessage+1)
+	lying := append([]byte(nil), wire...)
+	binary.LittleEndian.PutUint32(lying[8:12], uint32(len(wire))) // declares more than follows
+	return [][]byte{wire, truncated, oversized, justOver, lying, wire[:1], wire[:HeaderSize]}
+}
+
 // FuzzDecode asserts the GIOP decoder never panics and that successful
 // decodes re-marshal to a message of the same type — the invariant the
 // corrupted-link scenarios rely on (corruption yields MessageError
@@ -119,6 +135,9 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte("GIOP"))
 	f.Add([]byte{})
+	for _, seed := range frameSeeds() {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(data)
 		if err != nil {
@@ -137,4 +156,64 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("re-marshal type %v != decoded type %v", MsgType(out[7]), msg.Type())
 		}
 	})
+}
+
+// FuzzReadFrame drives the stream framer with arbitrary bytes delivered
+// in arbitrary chunk sizes: it must never panic, never allocate beyond
+// the declared cap, and on success yield a frame Decode agrees is the
+// length the header declared. The seeds cover the wire plane's hostile
+// shapes: truncated length prefix, split-across-read header, oversized
+// claimed length.
+func FuzzReadFrame(f *testing.F) {
+	for _, seed := range frameSeeds() {
+		f.Add(seed, 1)
+		f.Add(seed, 3)
+		f.Add(seed, 4096)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		if chunk < 1 {
+			chunk = 1
+		}
+		const maxMsg = 1 << 16
+		r := &fuzzChunkReader{buf: data, n: chunk}
+		buf, err := ReadFrame(r, maxMsg, nil)
+		if err != nil {
+			return
+		}
+		if len(buf) > HeaderSize+maxMsg {
+			t.Fatalf("frame of %d bytes exceeds the %d cap", len(buf)-HeaderSize, maxMsg)
+		}
+		if len(buf) < HeaderSize {
+			t.Fatalf("frame shorter than a header: %d bytes", len(buf))
+		}
+		// A framed message is structurally sized: Decode must never
+		// reject it for a header/size mismatch (inner malformations are
+		// still fair game, but must error cleanly, not panic).
+		if _, derr := Decode(buf); derr != nil && errors.Is(derr, ErrBadMagic) {
+			t.Fatalf("framer passed bytes Decode rejects as non-GIOP: %v", derr)
+		}
+	})
+}
+
+// fuzzChunkReader yields at most n bytes per Read, exercising the
+// framer's partial-read handling under fuzzing.
+type fuzzChunkReader struct {
+	buf []byte
+	n   int
+}
+
+func (c *fuzzChunkReader) Read(p []byte) (int, error) {
+	if len(c.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(c.buf) {
+		n = len(c.buf)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.buf[:n])
+	c.buf = c.buf[n:]
+	return n, nil
 }

@@ -2,8 +2,8 @@ package orb
 
 import (
 	"errors"
-	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -22,37 +22,28 @@ import (
 // replica that stays saturated is probed at a decaying rate instead of
 // hammered.
 //
-// Probe timing is jittered from the ORB's per-client stream (o.jrand),
-// the same deterministic source the failover backoff uses: one client
+// The state machine itself lives in the internal/breaker package so the
+// real-socket wire plane reuses it verbatim for reconnect gating; this
+// file is the ORB-side adapter, binding it to the simulation kernel's
+// virtual clock, the per-client jitter stream (o.jrand — one client
 // replays identically run to run, distinct clients desynchronise their
-// probes so a recovering replica is not hit by all of them at once.
+// probes), netsim addresses, and the trace/event plumbing.
 
 // BreakerState is one endpoint's circuit state.
 type BreakerState int
 
 const (
 	// BreakerClosed admits traffic normally.
-	BreakerClosed BreakerState = iota
+	BreakerClosed = BreakerState(breaker.Closed)
 	// BreakerOpen rejects traffic until the cooldown elapses.
-	BreakerOpen
+	BreakerOpen = BreakerState(breaker.Open)
 	// BreakerHalfOpen has one probe invocation in flight; its outcome
 	// decides between re-closing and re-opening.
-	BreakerHalfOpen
+	BreakerHalfOpen = BreakerState(breaker.HalfOpen)
 )
 
 // String returns the conventional state name.
-func (s BreakerState) String() string {
-	switch s {
-	case BreakerClosed:
-		return "closed"
-	case BreakerOpen:
-		return "open"
-	case BreakerHalfOpen:
-		return "half-open"
-	default:
-		return "unknown"
-	}
-}
+func (s BreakerState) String() string { return breaker.State(s).String() }
 
 // BreakerTransition records one circuit state change, for scenario
 // timelines and assertions.
@@ -63,46 +54,47 @@ type BreakerTransition struct {
 	To   BreakerState
 }
 
-// breakerEntry is the per-endpoint circuit.
-type breakerEntry struct {
-	state    BreakerState
-	fails    int           // consecutive classified failures while closed
-	until    sim.Time      // open: earliest instant a probe may go out
-	cooldown time.Duration // current open interval (doubles on failed probes)
-}
-
-// breaker tracks circuit state for every endpoint this ORB invokes.
-type breaker struct {
+// orbBreaker adapts the shared circuit machine to the ORB: endpoint
+// keys are netsim addresses, timestamps are virtual time, and every
+// transition feeds the transition log, the monitoring hook and a
+// zero-length overload-layer span.
+type orbBreaker struct {
 	o           *ORB
-	entries     map[netsim.Addr]*breakerEntry
+	m           *breaker.Machine
 	transitions []BreakerTransition
 	hook        func(BreakerTransition)
 }
 
-func newBreaker(o *ORB) *breaker {
-	return &breaker{o: o, entries: make(map[netsim.Addr]*breakerEntry)}
-}
-
-func (b *breaker) entry(addr netsim.Addr) *breakerEntry {
-	e, ok := b.entries[addr]
-	if !ok {
-		e = &breakerEntry{cooldown: b.o.cfg.BreakerCooldown}
-		b.entries[addr] = e
+func newBreaker(o *ORB) *orbBreaker {
+	cfg := breaker.Config{
+		Threshold:   o.cfg.BreakerThreshold,
+		Cooldown:    o.cfg.BreakerCooldown,
+		CooldownCap: o.cfg.BreakerCooldownCap,
 	}
-	return e
+	return &orbBreaker{
+		o: o,
+		m: breaker.New(cfg,
+			func() int64 { return int64(o.ep.Kernel().Now()) },
+			func(n int64) int64 { return o.jrand.Int63n(n) }),
+	}
 }
 
-func (b *breaker) transition(addr netsim.Addr, e *breakerEntry, to BreakerState) {
-	from := e.state
-	e.state = to
-	tr := BreakerTransition{At: b.o.ep.Kernel().Now(), Addr: addr, From: from, To: to}
+// observe translates a machine transition into the ORB's domain and
+// fans it out to the log, the hook and the tracer.
+func (b *orbBreaker) observe(addr netsim.Addr, mtr breaker.Transition) {
+	tr := BreakerTransition{
+		At:   sim.Time(mtr.At),
+		Addr: addr,
+		From: BreakerState(mtr.From),
+		To:   BreakerState(mtr.To),
+	}
 	b.transitions = append(b.transitions, tr)
 	if b.hook != nil {
 		b.hook(tr)
 	}
 	if b.o.tracer != nil {
-		s := b.o.tracer.StartRoot("breaker."+to.String(), trace.LayerOverload)
-		s.SetAttr(trace.String("endpoint", addr.String()), trace.String("from", from.String()))
+		s := b.o.tracer.StartRoot("breaker."+tr.To.String(), trace.LayerOverload)
+		s.SetAttr(trace.String("endpoint", addr.String()), trace.String("from", tr.From.String()))
 		s.Finish()
 	}
 }
@@ -110,23 +102,15 @@ func (b *breaker) transition(addr netsim.Addr, e *breakerEntry, to BreakerState)
 // allow reports whether an invocation to addr may proceed. When an open
 // circuit's cooldown has elapsed it flips to half-open and admits the
 // calling invocation as the single probe.
-func (b *breaker) allow(addr netsim.Addr) bool {
+func (b *orbBreaker) allow(addr netsim.Addr) bool {
 	if b.o.cfg.DisableBreaker {
 		return true
 	}
-	e := b.entry(addr)
-	switch e.state {
-	case BreakerClosed:
-		return true
-	case BreakerOpen:
-		if b.o.ep.Kernel().Now() >= e.until {
-			b.transition(addr, e, BreakerHalfOpen)
-			return true
-		}
-		return false
-	default: // BreakerHalfOpen: the probe is already in flight
-		return false
+	ok, tr, changed := b.m.Allow(addr.String())
+	if changed {
+		b.observe(addr, tr)
 	}
+	return ok
 }
 
 // breakerFailure reports whether err counts against the circuit:
@@ -139,51 +123,14 @@ func breakerFailure(err error) bool {
 }
 
 // record feeds an invocation outcome into addr's circuit.
-func (b *breaker) record(addr netsim.Addr, err error) {
+func (b *orbBreaker) record(addr netsim.Addr, err error) {
 	if b.o.cfg.DisableBreaker {
 		return
 	}
-	e := b.entry(addr)
-	failed := err != nil && breakerFailure(err)
-	switch e.state {
-	case BreakerClosed:
-		if !failed {
-			e.fails = 0
-			return
-		}
-		e.fails++
-		if e.fails >= b.o.cfg.BreakerThreshold {
-			b.open(addr, e)
-		}
-	case BreakerHalfOpen:
-		if failed {
-			// Failed probe: back to open with the cooldown doubled.
-			e.cooldown *= 2
-			if e.cooldown > b.o.cfg.BreakerCooldownCap {
-				e.cooldown = b.o.cfg.BreakerCooldownCap
-			}
-			b.open(addr, e)
-			return
-		}
-		// The endpoint recovered: admit traffic again from scratch.
-		e.fails = 0
-		e.cooldown = b.o.cfg.BreakerCooldown
-		b.transition(addr, e, BreakerClosed)
-	case BreakerOpen:
-		// A straggler outcome from before the circuit opened; the open
-		// timer already covers it.
+	tr, changed := b.m.Record(addr.String(), err != nil && breakerFailure(err))
+	if changed {
+		b.observe(addr, tr)
 	}
-}
-
-// open moves the circuit to open, scheduling the next probe at
-// cooldown plus per-client jitter in [0, cooldown/4).
-func (b *breaker) open(addr netsim.Addr, e *breakerEntry) {
-	jitter := time.Duration(0)
-	if e.cooldown >= 4 {
-		jitter = time.Duration(b.o.jrand.Int63n(int64(e.cooldown / 4)))
-	}
-	e.until = b.o.ep.Kernel().Now() + sim.Time(e.cooldown+jitter)
-	b.transition(addr, e, BreakerOpen)
 }
 
 // errorsIsAny reports whether err matches any of targets.
@@ -199,10 +146,7 @@ func errorsIsAny(err error, targets ...error) bool {
 // BreakerState returns the circuit state for addr (closed if the
 // endpoint has never been invoked).
 func (o *ORB) BreakerState(addr netsim.Addr) BreakerState {
-	if e, ok := o.breaker.entries[addr]; ok {
-		return e.state
-	}
-	return BreakerClosed
+	return BreakerState(o.breaker.m.State(addr.String()))
 }
 
 // BreakerTransitions returns every circuit transition so far, in order.

@@ -83,8 +83,8 @@ func TestBreakerStateMachine(t *testing.T) {
 	if got := o.BreakerState(addr); got != BreakerClosed {
 		t.Fatalf("state after successful probe = %v, want closed", got)
 	}
-	if e := o.breaker.entry(addr); e.cooldown != 100*time.Millisecond {
-		t.Fatalf("cooldown after recovery = %v, want reset to 100ms", e.cooldown)
+	if cd := o.breaker.m.Cooldown(addr.String()); cd != 100*time.Millisecond {
+		t.Fatalf("cooldown after recovery = %v, want reset to 100ms", cd)
 	}
 
 	// The transition log captured the full journey, in order.

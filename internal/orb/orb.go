@@ -177,7 +177,7 @@ type ORB struct {
 	clientID uint64
 	ftSeq    uint32
 	jrand    *rand.Rand
-	breaker  *breaker
+	breaker  *orbBreaker
 
 	// Server-side duplicate suppression: completed (and in-progress)
 	// executions keyed by FT request context, so a retried request is

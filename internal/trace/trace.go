@@ -37,6 +37,10 @@ const (
 	// machinery: deadline sheds, admission refusals, and circuit-breaker
 	// transitions.
 	LayerOverload = "overload"
+	// LayerWire tags spans emitted by the real-socket GIOP plane
+	// (internal/wire): client invocations, connection reads, lane
+	// queueing and servant dispatch over actual TCP.
+	LayerWire = "wire"
 )
 
 // TraceID identifies one causally-related span tree.
@@ -149,14 +153,18 @@ type Sink interface {
 	OnEnd(s *Span)
 }
 
-// Tracer mints spans against a simulation kernel's virtual clock. IDs
-// are sequential, so a deterministic scenario produces identical traces
-// on every run. The zero value is unusable; construct with NewTracer.
+// Tracer mints spans against a clock — a simulation kernel's virtual
+// clock (NewTracer) or any injected time source such as a wall clock
+// (NewTracerWithClock). IDs are sequential, so a deterministic scenario
+// produces identical traces on every run. The zero value is unusable.
 //
-// A Tracer is not safe for concurrent use — like the kernel it reads
-// time from, all interaction must happen from the simulation goroutine.
+// A Tracer is not safe for concurrent use — in a simulation all
+// interaction happens from the kernel goroutine, like the kernel clock
+// it reads. Callers off that model (the wire plane's per-connection
+// goroutines) must serialise access with their own mutex; internal/wire
+// does exactly that around a wall-clock tracer.
 type Tracer struct {
-	k         *sim.Kernel
+	now       func() sim.Time
 	col       *Collector
 	sinks     []Sink
 	nextTrace uint64
@@ -168,8 +176,17 @@ type Tracer struct {
 // NewTracer creates a tracer on kernel k with an in-memory Collector
 // already attached.
 func NewTracer(k *sim.Kernel) *Tracer {
+	return NewTracerWithClock(k.Now)
+}
+
+// NewTracerWithClock creates a tracer reading time from now — the hook
+// that lets the real-socket wire plane mint spans against the wall
+// clock while every simulated subsystem keeps using virtual time. The
+// same concurrency contract applies regardless of clock: callers must
+// serialise access.
+func NewTracerWithClock(now func() sim.Time) *Tracer {
 	tr := &Tracer{
-		k:      k,
+		now:    now,
 		col:    NewCollector(),
 		open:   make(map[SpanID]*Span),
 		active: make(map[any]SpanContext),
@@ -178,8 +195,8 @@ func NewTracer(k *sim.Kernel) *Tracer {
 	return tr
 }
 
-// Now returns the current virtual time.
-func (tr *Tracer) Now() sim.Time { return tr.k.Now() }
+// Now returns the current clock reading (virtual time in a simulation).
+func (tr *Tracer) Now() sim.Time { return tr.now() }
 
 // Collector returns the tracer's in-memory span store.
 func (tr *Tracer) Collector() *Collector { return tr.col }
@@ -211,7 +228,7 @@ func (tr *Tracer) start(trace TraceID, parent SpanID, name, layer string) *Span 
 		Parent:  parent,
 		Name:    name,
 		Layer:   layer,
-		Start:   tr.k.Now(),
+		Start:   tr.now(),
 		tracer:  tr,
 	}
 	tr.open[s.ID] = s

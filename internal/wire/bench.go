@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/trace/telemetry"
+)
+
+// BenchOptions shape the wall-clock wire benchmark: a real TCP server
+// with an EF lane and a BE lane, and an open-loop mixed load sized so
+// the BE lane saturates (offered above its service capacity) while the
+// EF lane stays lightly loaded — the regime where banded connections
+// plus priority lanes must keep the EF tail flat.
+type BenchOptions struct {
+	// Duration of the measured load (default 2s).
+	Duration time.Duration
+	// EFHz / BEHz are offered rates (defaults 200 / 1200 req/s).
+	EFHz, BEHz int
+	// Service is the servant's simulated per-request work, slept on the
+	// lane worker (default 1ms). With BEWorkers=1 the BE capacity is
+	// 1/Service req/s, so the default BEHz oversubscribes it ~1.2x.
+	Service time.Duration
+	// EFWorkers / BEWorkers size the two lanes (defaults 2 / 1).
+	EFWorkers, BEWorkers int
+	// QueueLimit bounds each lane's queue (default 256).
+	QueueLimit int
+	// Payload is the request body size (default 64 bytes).
+	Payload int
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// MetricsAddr, when non-empty, serves the combined server+client
+	// telemetry on /metrics (plus pprof) for the benchmark's duration.
+	MetricsAddr string
+}
+
+// EFPriority is the expedited CORBA priority the benchmark and the
+// qosserve/qoscall pair use for the high band (BE rides at 0).
+const EFPriority int16 = 16000
+
+// BenchResult is the benchmark outcome: one report per class plus the
+// server-side shed counters that explain the BE error budget.
+type BenchResult struct {
+	Addr       string
+	Duration   time.Duration
+	EF, BE     ClassReport
+	Refused    float64 // BE admission refusals (TRANSIENT minor 2)
+	Shed       float64 // BE deadline sheds at dequeue (TIMEOUT)
+	MetricsURL string
+}
+
+// Render prints the benchmark tables.
+func (r *BenchResult) Render() string {
+	out := RenderReports([]ClassReport{r.EF, r.BE})
+	out += fmt.Sprintf("  server: refused=%g deadline_shed=%g addr=%s wall=%v\n",
+		r.Refused, r.Shed, r.Addr, r.Duration.Round(time.Millisecond))
+	return out
+}
+
+// RunBench stands up a real TCP server and drives the mixed EF/BE load
+// against it over localhost, returning wall-clock per-class reports.
+// The paper-shaped claim it measures: with private banded connections
+// and per-priority lanes, saturating the best-effort class must not
+// move the expedited tail (EF p99 << BE p99).
+func RunBench(o BenchOptions) (*BenchResult, error) {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.EFHz <= 0 {
+		o.EFHz = 200
+	}
+	if o.BEHz <= 0 {
+		o.BEHz = 1200
+	}
+	if o.Service <= 0 {
+		o.Service = time.Millisecond
+	}
+	if o.EFWorkers <= 0 {
+		o.EFWorkers = 2
+	}
+	if o.BEWorkers <= 0 {
+		o.BEWorkers = 1
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 256
+	}
+	if o.Payload <= 0 {
+		o.Payload = 64
+	}
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+
+	reg := telemetry.NewRegistry()
+	srv, err := NewServer(ServerConfig{
+		Lanes: []LaneConfig{
+			{Priority: 0, Workers: o.BEWorkers, QueueLimit: o.QueueLimit},
+			{Priority: EFPriority, Workers: o.EFWorkers, QueueLimit: o.QueueLimit},
+		},
+		Registry: reg,
+		Name:     "qosbench.server",
+	})
+	if err != nil {
+		return nil, err
+	}
+	service := o.Service
+	srv.Register("app/echo", HandlerFunc(func(req *Request) ([]byte, error) {
+		time.Sleep(service)
+		return req.Body, nil
+	}))
+	addr, err := srv.Listen(o.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown(5 * time.Second)
+
+	res := &BenchResult{Addr: addr.String()}
+	if o.MetricsAddr != "" {
+		url, stop, merr := monitor.StartHTTP(o.MetricsAddr, reg)
+		if merr != nil {
+			return nil, merr
+		}
+		res.MetricsURL = url
+		defer stop()
+	}
+
+	cli, err := NewClient(ClientConfig{
+		Addr:     addr.String(),
+		Bands:    []int16{0, EFPriority},
+		Registry: reg,
+		Name:     "qosbench.client",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+
+	// BE calls must outlive the full queueing delay (QueueLimit *
+	// Service behind one worker) or every saturated call dies to its
+	// own timeout instead of measuring the queue.
+	beTimeout := 4*time.Duration(o.QueueLimit)*o.Service + time.Second
+	start := time.Now()
+	reports := RunLoad(cli, o.Duration, []LoadClass{
+		{Name: "EF", Priority: EFPriority, Hz: o.EFHz, Payload: o.Payload, Timeout: 500 * time.Millisecond},
+		{Name: "BE", Priority: 0, Hz: o.BEHz, Payload: o.Payload, Timeout: beTimeout},
+	})
+	res.Duration = time.Since(start)
+	res.EF, res.BE = reports[0], reports[1]
+	res.Refused = reg.Counter("wire.server.refused",
+		telemetry.L("lane", "0"), telemetry.L("reason", "queue_full")).Value()
+	res.Shed = reg.Counter("wire.server.deadline_shed", telemetry.L("lane", "0")).Value()
+	return res, nil
+}

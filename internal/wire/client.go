@@ -1,0 +1,641 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/cdr"
+	"repro/internal/events"
+	"repro/internal/giop"
+	"repro/internal/trace"
+	"repro/internal/trace/telemetry"
+)
+
+// ClientConfig configures a wire Client against one endpoint.
+type ClientConfig struct {
+	// Addr is the TCP endpoint ("host:port"). Ignored when Dial is set.
+	Addr string
+	// Bands are ascending CORBA-priority floors; each band keeps its own
+	// private connection set (RT-CORBA banded connections), so an
+	// expedited request never queues behind best-effort bytes on a
+	// shared socket. Default: one band at floor 0.
+	Bands []int16
+	// ConnsPerBand sizes each band's connection pool (default 1);
+	// requests multiplex over the pool round-robin by request ID.
+	ConnsPerBand int
+	// RequestTimeout is the default RELATIVE_RT_TIMEOUT when a call
+	// passes none (default 2s). The timeout is both the client-side wait
+	// bound and the absolute deadline propagated in the GIOP deadline
+	// service context for server-side shedding.
+	RequestTimeout time.Duration
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// Breaker configures per-band circuit breaking; its open-state
+	// cooldown (doubling up to the cap, jittered) is also the reconnect
+	// backoff after dial failures. Defaults: threshold 4, cooldown
+	// 250ms, cap 4s.
+	Breaker breaker.Config
+	// MaxMessage caps inbound reply bodies (giop.DefaultMaxMessage if 0).
+	MaxMessage uint32
+	// ByteOrder for requests (the zero value is canonical big-endian).
+	ByteOrder cdr.ByteOrder
+	// Registry receives wire.client.* telemetry (private one if nil).
+	Registry *telemetry.Registry
+	// Tracer receives invocation spans (nil = no tracing).
+	Tracer *Tracer
+	// Bus, when set, receives breaker transition records.
+	Bus *events.Bus
+	// Name labels telemetry and bus records ("wire.client" default).
+	Name string
+	// Dial overrides connection establishment — the loopback hook
+	// (return one end of a net.Pipe) that makes client tests socket-free
+	// and deterministic.
+	Dial func() (net.Conn, error)
+	// Seed fixes the breaker jitter stream (0 = seed 1).
+	Seed int64
+}
+
+// Client is the real-socket GIOP client: private connection pools per
+// priority band, request-ID multiplexing over each connection,
+// wall-clock deadlines, and circuit-breaker-gated reconnection.
+type Client struct {
+	cfg    ClientConfig
+	reg    *telemetry.Registry
+	order  cdr.ByteOrder
+	maxMsg uint32
+	name   string
+	brk    *breaker.Machine
+	jmu    sync.Mutex
+	jrand  *rand.Rand
+	reqSeq atomic.Uint32
+	bands  []*clientBand
+	closed atomic.Bool
+}
+
+type clientBand struct {
+	c     *Client
+	floor int16
+	label string
+	ep    string // breaker endpoint key: addr#floor
+	mu    sync.Mutex
+	conns []*clientConn
+	// dialing counts in-flight dials so concurrent first calls cannot
+	// overshoot ConnsPerBand.
+	dialing int
+	rr      int
+}
+
+type clientConn struct {
+	band *clientBand
+	nc   net.Conn
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint32]*pendingCall
+	// retired refuses new registrations (server announced close) while
+	// pending replies still stream in; dead means failed, pending
+	// flushed.
+	retired bool
+	dead    bool
+	err     error
+}
+
+type pendingCall struct {
+	done  chan struct{}
+	reply *giop.Reply
+	// order is the byte order of the reply frame, captured from its
+	// header flags so the exception body decodes exactly.
+	order cdr.ByteOrder
+	err   error
+}
+
+// CallOptions shape one invocation.
+type CallOptions struct {
+	// Priority selects the connection band and propagates end to end in
+	// the RT-CORBA priority service context.
+	Priority int16
+	// Timeout is the RELATIVE_RT_TIMEOUT (0 = ClientConfig default).
+	Timeout time.Duration
+	// Oneway sends without expecting a reply; Invoke returns as soon as
+	// the request bytes are written.
+	Oneway bool
+}
+
+// NewClient builds a client. No connection is dialed until the first
+// invocation needs one.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" && cfg.Dial == nil {
+		return nil, fmt.Errorf("wire: client needs Addr or Dial")
+	}
+	if len(cfg.Bands) == 0 {
+		cfg.Bands = []int16{0}
+	}
+	if !sort.SliceIsSorted(cfg.Bands, func(i, j int) bool { return cfg.Bands[i] < cfg.Bands[j] }) {
+		return nil, fmt.Errorf("wire: band floors must be ascending")
+	}
+	if cfg.ConnsPerBand <= 0 {
+		cfg.ConnsPerBand = 1
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Breaker.Threshold <= 0 {
+		cfg.Breaker.Threshold = 4
+	}
+	if cfg.Breaker.Cooldown <= 0 {
+		cfg.Breaker.Cooldown = 250 * time.Millisecond
+	}
+	if cfg.Breaker.CooldownCap <= 0 {
+		cfg.Breaker.CooldownCap = 4 * time.Second
+	}
+	if cfg.MaxMessage == 0 {
+		cfg.MaxMessage = giop.DefaultMaxMessage
+	}
+	if cfg.Name == "" {
+		cfg.Name = "wire.client"
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Client{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		order:  cfg.ByteOrder,
+		maxMsg: cfg.MaxMessage,
+		name:   cfg.Name,
+		jrand:  rand.New(rand.NewSource(seed)),
+	}
+	if c.reg == nil {
+		c.reg = telemetry.NewRegistry()
+	}
+	// The breaker runs on the wall clock; jitter draws are serialised
+	// because invocations come from arbitrary goroutines.
+	c.brk = breaker.New(cfg.Breaker,
+		func() int64 { return time.Now().UnixNano() },
+		func(n int64) int64 {
+			c.jmu.Lock()
+			defer c.jmu.Unlock()
+			return c.jrand.Int63n(n)
+		})
+	for _, floor := range cfg.Bands {
+		c.bands = append(c.bands, &clientBand{
+			c:     c,
+			floor: floor,
+			label: strconv.Itoa(int(floor)),
+			ep:    fmt.Sprintf("%s#%d", cfg.Addr, floor),
+		})
+	}
+	return c, nil
+}
+
+// Registry returns the client's telemetry registry.
+func (c *Client) Registry() *telemetry.Registry { return c.reg }
+
+// BreakerState returns the circuit state of the band serving priority p.
+func (c *Client) BreakerState(p int16) breaker.State {
+	return c.brk.State(c.bandFor(p).ep)
+}
+
+// bandFor returns the highest band whose floor is <= p (the lowest band
+// when p is below every floor) — the same rule as server lanes.
+func (c *Client) bandFor(p int16) *clientBand {
+	b := c.bands[0]
+	for _, cand := range c.bands[1:] {
+		if p >= cand.floor {
+			b = cand
+		}
+	}
+	return b
+}
+
+// Invoke performs one synchronous invocation: key/op/body are the GIOP
+// request fields; opts pick the band, deadline and sync scope. The
+// reply body is returned on NO_EXCEPTION; system exceptions come back
+// as classified wire errors (ErrOverload, ErrDeadlineExpired, ...).
+func (c *Client) Invoke(key, op string, body []byte, opts CallOptions) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrShutdown
+	}
+	b := c.bandFor(opts.Priority)
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = c.cfg.RequestTimeout
+	}
+
+	bandL := telemetry.L("band", b.label)
+	var ctx trace.SpanContext
+	tr := c.cfg.Tracer
+	if tr != nil {
+		ctx = tr.StartRoot("wire.invoke",
+			trace.String("op", op), trace.String("band", b.label),
+			trace.Int("priority", int64(opts.Priority)))
+	}
+	start := time.Now()
+	reply, err := c.invokeOnce(b, ctx, key, op, body, opts, timeout, start)
+	rtt := time.Since(start)
+
+	outcome := "ok"
+	if err != nil {
+		outcome = errClass(err)
+	}
+	if tr != nil {
+		tr.Finish(ctx, trace.String("outcome", outcome))
+	}
+	c.reg.Counter("wire.client.requests", bandL, telemetry.L("outcome", outcome)).Inc()
+	c.reg.Histogram("wire.client.rtt_ms", bandL).ObserveEx(
+		float64(rtt)/float64(time.Millisecond),
+		telemetry.Exemplar{TraceID: uint64(ctx.Trace), SpanID: uint64(ctx.Span), At: time.Duration(sinceStart())},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// errClass buckets an invocation error for the outcome label.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit_open"
+	case errors.Is(err, ErrOverload):
+		return "overload"
+	case errors.Is(err, ErrDeadlineExpired):
+		return "deadline"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
+	case errors.Is(err, ErrObjectNotExist):
+		return "not_exist"
+	case errors.Is(err, ErrProtocol):
+		return "protocol"
+	case errors.Is(err, ErrShutdown):
+		return "shutdown"
+	default:
+		return "error"
+	}
+}
+
+func (c *Client) invokeOnce(b *clientBand, ctx trace.SpanContext, key, op string, body []byte, opts CallOptions, timeout time.Duration, start time.Time) ([]byte, error) {
+	// Gate on the band's circuit first: an open circuit answers locally.
+	ok, trans, changed := c.brk.Allow(b.ep)
+	if changed {
+		c.observeTransition(b, trans)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (cooldown %v)", ErrCircuitOpen, b.ep, c.brk.Cooldown(b.ep))
+	}
+
+	id := c.reqSeq.Add(1)
+	expiry := start.Add(timeout)
+	contexts := []giop.ServiceContext{
+		giop.PriorityContext(opts.Priority, c.order),
+		giop.TimestampContext(start.UnixNano(), c.order),
+		giop.DeadlineContext(expiry.UnixNano(), c.order),
+	}
+	if ctx.Valid() {
+		contexts = append(contexts, giop.TraceContext(uint64(ctx.Trace), uint64(ctx.Span), c.order))
+	}
+	req := &giop.Request{
+		RequestID:        id,
+		ResponseExpected: !opts.Oneway,
+		ObjectKey:        []byte(key),
+		Operation:        op,
+		ServiceContexts:  contexts,
+		Body:             body,
+	}
+
+	var conn *clientConn
+	var call *pendingCall
+	for attempt := 0; ; attempt++ {
+		var err error
+		conn, err = b.get()
+		if err != nil {
+			c.record(b, true)
+			return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, c.cfg.Addr, err)
+		}
+		if opts.Oneway {
+			break
+		}
+		call = &pendingCall{done: make(chan struct{})}
+		err = conn.register(id, call)
+		if err == nil {
+			break
+		}
+		// A retired connection (server draining) is already out of the
+		// pool; one fresh dial gets a live one.
+		if attempt > 0 {
+			c.record(b, true)
+			return nil, err
+		}
+	}
+	if err := conn.writeFrame(req.Marshal(c.order), expiry); err != nil {
+		conn.fail(fmt.Errorf("%w: write: %v", ErrUnavailable, err))
+		b.drop(conn)
+		c.record(b, true)
+		return nil, fmt.Errorf("%w: write %s: %v", ErrUnavailable, c.cfg.Addr, err)
+	}
+	if opts.Oneway {
+		c.record(b, false)
+		return nil, nil
+	}
+
+	timer := time.NewTimer(time.Until(expiry))
+	defer timer.Stop()
+	select {
+	case <-call.done:
+	case <-timer.C:
+		conn.unregister(id)
+		// Best-effort cancel so the server can skip the queued work.
+		_ = conn.tryWrite((&giop.CancelRequest{RequestID: id}).Marshal(c.order))
+		c.record(b, true)
+		return nil, fmt.Errorf("%w: %v elapsed waiting for %s", ErrDeadlineExpired, timeout, op)
+	}
+
+	if call.err != nil {
+		c.record(b, true)
+		return nil, call.err
+	}
+	rep := call.reply
+	var err2 error
+	switch rep.Status {
+	case giop.StatusNoException:
+		err2 = nil
+	case giop.StatusSystemException:
+		err2 = decodeException(rep.Body, call.order)
+	default:
+		err2 = fmt.Errorf("%w: reply status %v", ErrProtocol, rep.Status)
+	}
+	c.record(b, err2 != nil && breakerFailure(err2))
+	if err2 != nil {
+		return nil, err2
+	}
+	return rep.Body, nil
+}
+
+// record books one outcome against the band's circuit and publishes any
+// transition.
+func (c *Client) record(b *clientBand, failed bool) {
+	if trans, changed := c.brk.Record(b.ep, failed); changed {
+		c.observeTransition(b, trans)
+	}
+}
+
+// observeTransition mirrors a breaker state change into telemetry, the
+// trace plane and the events bus.
+func (c *Client) observeTransition(b *clientBand, trans breaker.Transition) {
+	c.reg.Counter("wire.client.breaker_transitions",
+		telemetry.L("band", b.label), telemetry.L("to", trans.To.String())).Inc()
+	if tr := c.cfg.Tracer; tr != nil {
+		ctx := tr.StartRoot("breaker."+trans.To.String(),
+			trace.String("endpoint", trans.Endpoint),
+			trace.String("from", trans.From.String()))
+		tr.Finish(ctx)
+	}
+	if c.cfg.Bus != nil {
+		at := sinceStart()
+		if tr := c.cfg.Tracer; tr != nil {
+			at = tr.Elapsed()
+		}
+		c.cfg.Bus.PublishAt(at, events.KindBreaker, c.name,
+			events.F("endpoint", trans.Endpoint),
+			events.F("from", trans.From.String()),
+			events.F("to", trans.To.String()),
+		)
+	}
+}
+
+// get returns a live connection from the band's pool, dialing one if
+// the pool is not yet full, round-robin otherwise.
+func (b *clientBand) get() (*clientConn, error) {
+	b.mu.Lock()
+	if len(b.conns)+b.dialing < b.c.cfg.ConnsPerBand || len(b.conns) == 0 {
+		b.dialing++
+		b.mu.Unlock()
+		conn, err := b.dial()
+		b.mu.Lock()
+		b.dialing--
+		if err != nil {
+			b.mu.Unlock()
+			return nil, err
+		}
+		b.conns = append(b.conns, conn)
+		b.mu.Unlock()
+		return conn, nil
+	}
+	b.rr++
+	conn := b.conns[b.rr%len(b.conns)]
+	b.mu.Unlock()
+	return conn, nil
+}
+
+// dial establishes one connection and starts its reader goroutine.
+func (b *clientBand) dial() (*clientConn, error) {
+	c := b.c
+	c.reg.Counter("wire.client.dials", telemetry.L("band", b.label)).Inc()
+	var nc net.Conn
+	var err error
+	if c.cfg.Dial != nil {
+		nc, err = c.cfg.Dial()
+	} else {
+		nc, err = net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	}
+	if err != nil {
+		c.reg.Counter("wire.client.dial_errors", telemetry.L("band", b.label)).Inc()
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn := &clientConn{band: b, nc: nc, pending: make(map[uint32]*pendingCall)}
+	go conn.readLoop()
+	return conn, nil
+}
+
+// remove takes a connection out of the pool without closing it.
+func (b *clientBand) remove(conn *clientConn) {
+	b.mu.Lock()
+	for i, cc := range b.conns {
+		if cc == conn {
+			b.conns = append(b.conns[:i], b.conns[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
+// drop removes a dead connection from the pool and closes it.
+func (b *clientBand) drop(conn *clientConn) {
+	b.remove(conn)
+	conn.nc.Close()
+}
+
+// Close tears the client down: every pooled connection is closed and
+// outstanding calls fail with ErrShutdown.
+func (c *Client) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, b := range c.bands {
+		b.mu.Lock()
+		conns := append([]*clientConn(nil), b.conns...)
+		b.conns = nil
+		b.mu.Unlock()
+		for _, conn := range conns {
+			conn.fail(ErrShutdown)
+		}
+	}
+}
+
+// register installs a pending call for a request ID.
+func (conn *clientConn) register(id uint32, call *pendingCall) error {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if conn.dead || conn.retired {
+		if conn.err != nil {
+			return conn.err
+		}
+		return ErrUnavailable
+	}
+	conn.pending[id] = call
+	return nil
+}
+
+// unregister abandons a pending call (deadline expiry).
+func (conn *clientConn) unregister(id uint32) {
+	conn.mu.Lock()
+	delete(conn.pending, id)
+	conn.mu.Unlock()
+}
+
+// writeFrame sends raw request bytes, serialised per connection, with a
+// write deadline so a wedged peer cannot block past the call expiry.
+func (conn *clientConn) writeFrame(buf []byte, expiry time.Time) error {
+	conn.wmu.Lock()
+	defer conn.wmu.Unlock()
+	if !expiry.IsZero() {
+		conn.nc.SetWriteDeadline(expiry)
+	}
+	_, err := conn.nc.Write(buf)
+	return err
+}
+
+// tryWrite best-effort sends (CancelRequest) without surfacing errors.
+func (conn *clientConn) tryWrite(buf []byte) error {
+	conn.wmu.Lock()
+	defer conn.wmu.Unlock()
+	conn.nc.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	_, err := conn.nc.Write(buf)
+	return err
+}
+
+// readLoop frames and decodes inbound messages, delivering replies to
+// their pending calls by request ID.
+func (conn *clientConn) readLoop() {
+	c := conn.band.c
+	br := bufio.NewReaderSize(conn.nc, 32<<10)
+	for {
+		bufp := getFrameBuf()
+		frame, err := giop.ReadFrame(br, c.maxMsg, *bufp)
+		if err != nil {
+			putFrameBuf(bufp)
+			if err == io.EOF {
+				err = fmt.Errorf("%w: connection closed", ErrUnavailable)
+			} else {
+				err = fmt.Errorf("%w: read: %v", ErrUnavailable, err)
+			}
+			conn.fail(err)
+			conn.band.drop(conn)
+			return
+		}
+		order := cdr.BigEndian
+		if frame[6]&1 == 1 {
+			order = cdr.LittleEndian
+		}
+		msg, err := giop.Decode(frame)
+		*bufp = frame[:0]
+		putFrameBuf(bufp)
+		if err != nil {
+			conn.fail(fmt.Errorf("%w: %v", ErrProtocol, err))
+			conn.band.drop(conn)
+			return
+		}
+		switch m := msg.(type) {
+		case *giop.Reply:
+			conn.mu.Lock()
+			call, ok := conn.pending[m.RequestID]
+			if ok {
+				delete(conn.pending, m.RequestID)
+			}
+			conn.mu.Unlock()
+			if ok {
+				call.reply = m
+				call.order = order
+				close(call.done)
+			} else {
+				c.reg.Counter("wire.client.orphan_replies").Inc()
+			}
+		case *giop.CloseConnection:
+			// Graceful drain: the server will answer what is already in
+			// flight, then close. Retire the connection — no new calls
+			// register on it — but keep reading so pending replies land;
+			// EOF fails whatever is genuinely left.
+			conn.retire()
+		case *giop.MessageError:
+			conn.fail(fmt.Errorf("%w: peer reported MessageError", ErrProtocol))
+			conn.band.drop(conn)
+			return
+		case *giop.LocateReply:
+			// No locate API yet; count and continue.
+			c.reg.Counter("wire.client.orphan_replies").Inc()
+		default:
+			conn.fail(fmt.Errorf("%w: unexpected %v from server", ErrProtocol, msg.Type()))
+			conn.band.drop(conn)
+			return
+		}
+	}
+}
+
+// retire marks the connection dead for new registrations and removes it
+// from the pool while leaving the socket open; the next invocation on
+// the band dials afresh.
+func (conn *clientConn) retire() {
+	conn.mu.Lock()
+	if !conn.retired {
+		conn.retired = true
+		conn.err = fmt.Errorf("%w: server closing", ErrUnavailable)
+	}
+	conn.mu.Unlock()
+	conn.band.remove(conn)
+}
+
+// fail marks the connection dead and fails every pending call.
+func (conn *clientConn) fail(err error) {
+	conn.mu.Lock()
+	if conn.dead {
+		conn.mu.Unlock()
+		return
+	}
+	conn.dead = true
+	conn.err = err
+	pending := conn.pending
+	conn.pending = make(map[uint32]*pendingCall)
+	conn.mu.Unlock()
+	conn.nc.Close()
+	for _, call := range pending {
+		call.err = err
+		close(call.done)
+	}
+}

@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/giop"
+)
+
+// The interop regression tests pin the tentpole guarantee: the wire
+// plane and the simulated ORB speak byte-identical GIOP. A request
+// built exactly the way internal/orb builds one (same context order,
+// same encodings, either byte order) must dispatch through the wire
+// server, and a wire client's bytes must decode through giop.Decode —
+// the sim ORB's entire inbound path — with every context parsing.
+
+// simORBRequest builds request bytes the way orb.invokeOnce does:
+// priority context, then timestamp, then deadline, marshalled in the
+// ORB's configured byte order.
+func simORBRequest(id uint32, prio int16, deadline int64, order cdr.ByteOrder) []byte {
+	req := &giop.Request{
+		RequestID:        id,
+		ResponseExpected: true,
+		ObjectKey:        []byte("app/echo"),
+		Operation:        "echo",
+		ServiceContexts: []giop.ServiceContext{
+			giop.PriorityContext(prio, order),
+			giop.TimestampContext(time.Now().UnixNano(), order),
+			giop.DeadlineContext(deadline, order),
+		},
+		Body: []byte("sim orb payload"),
+	}
+	return req.Marshal(order)
+}
+
+// trickle writes buf to w in tiny chunks, forcing the reader through
+// split-across-read framing like a congested TCP stream.
+func trickle(t *testing.T, w net.Conn, buf []byte, chunk int) {
+	t.Helper()
+	for off := 0; off < len(buf); off += chunk {
+		end := off + chunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if _, err := w.Write(buf[off:end]); err != nil {
+			t.Errorf("trickle write: %v", err)
+			return
+		}
+	}
+}
+
+// TestInteropSimBytesIntoWireServer feeds sim-ORB-shaped request bytes
+// (both byte orders, dribbled 3 bytes at a time) straight into a wire
+// server's connection reader and checks the servant sees the decoded
+// QoS contexts and the reply frames back correctly.
+func TestInteropSimBytesIntoWireServer(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.LittleEndian, cdr.BigEndian} {
+		srv, err := NewServer(ServerConfig{ByteOrder: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var seen *Request
+		srv.Register("app/echo", HandlerFunc(func(req *Request) ([]byte, error) {
+			mu.Lock()
+			seen = req
+			mu.Unlock()
+			return req.Body, nil
+		}))
+
+		cliEnd, srvEnd := net.Pipe()
+		var readers sync.WaitGroup
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			srv.ServeConn(srvEnd)
+		}()
+
+		deadline := time.Now().Add(time.Minute).UnixNano()
+		wire := simORBRequest(42, 9000, deadline, order)
+		go trickle(t, cliEnd, wire, 3)
+
+		frame, err := giop.ReadFrame(cliEnd, 0, nil)
+		if err != nil {
+			t.Fatalf("order %v: reading reply frame: %v", order, err)
+		}
+		msg, err := giop.Decode(frame)
+		if err != nil {
+			t.Fatalf("order %v: decoding reply: %v", order, err)
+		}
+		rep, ok := msg.(*giop.Reply)
+		if !ok {
+			t.Fatalf("order %v: got %v, want Reply", order, msg.Type())
+		}
+		if rep.RequestID != 42 {
+			t.Errorf("order %v: reply id %d, want 42", order, rep.RequestID)
+		}
+		if rep.Status != giop.StatusNoException {
+			t.Errorf("order %v: reply status %v", order, rep.Status)
+		}
+		if !bytes.Equal(rep.Body, []byte("sim orb payload")) {
+			t.Errorf("order %v: echoed body %q", order, rep.Body)
+		}
+
+		mu.Lock()
+		req := seen
+		mu.Unlock()
+		if req == nil {
+			t.Fatalf("order %v: servant never ran", order)
+		}
+		if req.Priority != 9000 {
+			t.Errorf("order %v: priority %d, want 9000", order, req.Priority)
+		}
+		if req.Deadline.UnixNano() != deadline {
+			t.Errorf("order %v: deadline %d, want %d", order, req.Deadline.UnixNano(), deadline)
+		}
+
+		cliEnd.Close()
+		srv.Shutdown(time.Second)
+		readers.Wait()
+	}
+}
+
+// TestInteropExpiredDeadlineShedsAsTimeout drives a request whose
+// deadline context already expired through the raw server path: the
+// lane must shed it at dequeue with a TIMEOUT system exception — the
+// same bytes the simulated ORB's shed path produces.
+func TestInteropExpiredDeadlineShedsAsTimeout(t *testing.T) {
+	srv, err := NewServer(ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register("app/echo", HandlerFunc(func(req *Request) ([]byte, error) {
+		t.Error("servant ran for an expired-deadline request")
+		return nil, nil
+	}))
+	cliEnd, srvEnd := net.Pipe()
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		srv.ServeConn(srvEnd)
+	}()
+
+	expired := time.Now().Add(-time.Second).UnixNano()
+	wire := simORBRequest(7, 0, expired, cdr.LittleEndian)
+	go trickle(t, cliEnd, wire, len(wire))
+
+	frame, err := giop.ReadFrame(cliEnd, 0, nil)
+	if err != nil {
+		t.Fatalf("reading reply: %v", err)
+	}
+	msg, err := giop.Decode(frame)
+	if err != nil {
+		t.Fatalf("decoding reply: %v", err)
+	}
+	rep, ok := msg.(*giop.Reply)
+	if !ok || rep.Status != giop.StatusSystemException {
+		t.Fatalf("got %#v, want SystemException reply", msg)
+	}
+	order := cdr.BigEndian
+	if frame[6]&1 == 1 {
+		order = cdr.LittleEndian
+	}
+	if err := decodeException(rep.Body, order); !errors.Is(err, ErrDeadlineExpired) {
+		t.Fatalf("exception decodes to %v, want ErrDeadlineExpired (TIMEOUT)", err)
+	}
+	cliEnd.Close()
+	srv.Shutdown(time.Second)
+	readers.Wait()
+}
+
+// TestInteropWireClientBytesIntoSimDecoder plays the sim ORB's server
+// side by hand: read the wire client's request with the framer, decode
+// it with giop.Decode (the sim ORB's inbound path), check every QoS
+// context parses with the giop helpers, and answer with a plain
+// marshalled Reply the client must accept.
+func TestInteropWireClientBytesIntoSimDecoder(t *testing.T) {
+	cliEnd, simEnd := net.Pipe()
+	cli, err := NewClient(ClientConfig{
+		Addr: "simorb",
+		Dial: func() (net.Conn, error) { return cliEnd, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	type result struct {
+		body []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	before := time.Now()
+	go func() {
+		body, err := cli.Invoke("app/echo", "frob", []byte("from wire client"), CallOptions{
+			Priority: 123, Timeout: 5 * time.Second,
+		})
+		done <- result{body, err}
+	}()
+
+	// Sim-ORB side: frame, decode, verify contexts.
+	frame, err := giop.ReadFrame(simEnd, 0, nil)
+	if err != nil {
+		t.Fatalf("framing client request: %v", err)
+	}
+	msg, err := giop.Decode(frame)
+	if err != nil {
+		t.Fatalf("sim decoder rejected wire client bytes: %v", err)
+	}
+	req, ok := msg.(*giop.Request)
+	if !ok {
+		t.Fatalf("got %v, want Request", msg.Type())
+	}
+	if string(req.ObjectKey) != "app/echo" || req.Operation != "frob" {
+		t.Errorf("decoded %s/%s", req.ObjectKey, req.Operation)
+	}
+	if !bytes.Equal(req.Body, []byte("from wire client")) {
+		t.Errorf("decoded body %q", req.Body)
+	}
+	data, ok := giop.FindContext(req.ServiceContexts, giop.ServiceRTCorbaPriority)
+	if !ok {
+		t.Fatal("no priority context")
+	}
+	if p, err := giop.ParsePriorityContext(data); err != nil || p != 123 {
+		t.Errorf("priority = %d (%v), want 123", p, err)
+	}
+	data, ok = giop.FindContext(req.ServiceContexts, giop.ServiceDeadline)
+	if !ok {
+		t.Fatal("no deadline context")
+	}
+	exp, err := giop.ParseDeadlineContext(data)
+	if err != nil {
+		t.Fatalf("deadline context: %v", err)
+	}
+	if at := time.Unix(0, exp); at.Before(before) || at.After(before.Add(10*time.Second)) {
+		t.Errorf("deadline %v not ~5s after %v", at, before)
+	}
+	data, ok = giop.FindContext(req.ServiceContexts, giop.ServiceInvocationTimestamp)
+	if !ok {
+		t.Fatal("no timestamp context")
+	}
+	if _, err := giop.ParseTimestampContext(data); err != nil {
+		t.Errorf("timestamp context: %v", err)
+	}
+
+	// Answer like the sim ORB does — in the opposite byte order, to pin
+	// the client's order handling.
+	reply := (&giop.Reply{
+		RequestID: req.RequestID,
+		Status:    giop.StatusNoException,
+		Body:      []byte("sim says hi"),
+	}).Marshal(cdr.BigEndian)
+	trickle(t, simEnd, reply, 5)
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("client invoke: %v", r.err)
+	}
+	if !bytes.Equal(r.body, []byte("sim says hi")) {
+		t.Fatalf("client got %q", r.body)
+	}
+}

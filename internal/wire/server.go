@@ -1,0 +1,588 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/events"
+	"repro/internal/giop"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/trace/telemetry"
+)
+
+// Handler executes one inbound request on a lane worker. It returns the
+// CDR-encoded reply body, or an error: a *Exception is encoded verbatim
+// as a system exception; any other error becomes CORBA UNKNOWN.
+type Handler interface {
+	Dispatch(req *Request) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Request) ([]byte, error)
+
+// Dispatch implements Handler.
+func (f HandlerFunc) Dispatch(req *Request) ([]byte, error) { return f(req) }
+
+// Request is one decoded inbound invocation as a lane worker sees it:
+// the GIOP fields plus the QoS service contexts already parsed.
+type Request struct {
+	Key       string
+	Operation string
+	Body      []byte
+	// Priority is the propagated RT-CORBA CORBA priority (0 if absent).
+	Priority int16
+	// Deadline is the absolute wall-clock expiry from the end-to-end
+	// deadline context (zero time if the client set none).
+	Deadline time.Time
+	// SentAt is the client's send instant from the invocation-timestamp
+	// context (zero time if absent).
+	SentAt time.Time
+	// TraceCtx is the propagated client span (invalid if absent).
+	TraceCtx trace.SpanContext
+	// Peer is the remote address of the carrying connection.
+	Peer string
+	// Oneway reports that no reply is expected.
+	Oneway bool
+}
+
+// LaneConfig sizes one priority lane of the server's worker pool,
+// mirroring rtcorba.ThreadPool lanes: a lane serves every request whose
+// CORBA priority is >= its Priority floor and below the next lane's.
+type LaneConfig struct {
+	// Priority is the lane's CORBA-priority floor.
+	Priority int16
+	// Workers is the number of dispatch goroutines (>= 1).
+	Workers int
+	// QueueLimit bounds the lane's request queue; a request arriving at
+	// a full queue is refused with TRANSIENT minor 2 (the overload shed
+	// the client-side breaker counts). Default 256.
+	//
+	// Unlike the simulated rtcorba lanes there is no configurable
+	// eviction policy here: the wire plane always refuses the newcomer
+	// (TailDrop); queued requests can still be shed at dequeue when
+	// their deadline has already expired.
+	QueueLimit int
+}
+
+// ServerConfig configures a wire Server.
+type ServerConfig struct {
+	// Lanes of the worker pool, ascending priority floors. Default: one
+	// lane at floor 0 with GOMAXPROCS workers.
+	Lanes []LaneConfig
+	// MaxMessage caps inbound GIOP bodies (giop.DefaultMaxMessage if 0).
+	MaxMessage uint32
+	// ByteOrder for replies (the zero value is canonical big-endian).
+	ByteOrder cdr.ByteOrder
+	// Registry receives wire.server.* telemetry (private one if nil).
+	Registry *telemetry.Registry
+	// Tracer receives dispatch spans (nil = no tracing).
+	Tracer *Tracer
+	// Bus, when set, receives shed records (events.KindShed).
+	Bus *events.Bus
+	// Name labels telemetry and bus records ("wire.server" default).
+	Name string
+}
+
+type laneWork struct {
+	conn     *serverConn
+	req      *Request
+	id       uint32
+	enqueued time.Time
+}
+
+type serverLane struct {
+	cfg LaneConfig
+	ch  chan laneWork
+	// label is the priority floor as a telemetry label value.
+	label string
+}
+
+// Server is the real-socket GIOP server: an accept loop feeding
+// goroutine-per-connection readers, which parse frames and enqueue
+// requests onto per-priority lanes drained by a bounded worker pool.
+type Server struct {
+	cfg    ServerConfig
+	reg    *telemetry.Registry
+	order  cdr.ByteOrder
+	maxMsg uint32
+	name   string
+
+	mu       sync.Mutex
+	servants map[string]Handler
+	conns    map[*serverConn]struct{}
+
+	lanes    []*serverLane
+	workers  sync.WaitGroup
+	readers  sync.WaitGroup
+	inflight sync.WaitGroup // accepted (queued or executing) requests
+
+	lis      net.Listener
+	draining atomic.Bool
+	closed   atomic.Bool
+}
+
+type serverConn struct {
+	s    *Server
+	nc   net.Conn
+	wmu  sync.Mutex
+	peer string
+	// cancelled holds request IDs a CancelRequest asked to abandon;
+	// checked at dequeue (best-effort, like the CORBA semantics).
+	cancelled sync.Map
+	closeOnce sync.Once
+}
+
+// NewServer builds a server and starts its lane workers; connections
+// are attached with Serve (a listener) or ServeConn (a single net.Conn,
+// e.g. one end of a net.Pipe in tests).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Lanes) == 0 {
+		cfg.Lanes = []LaneConfig{{Priority: 0, Workers: runtime.GOMAXPROCS(0), QueueLimit: 1024}}
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		order:    cfg.ByteOrder,
+		maxMsg:   cfg.MaxMessage,
+		name:     cfg.Name,
+		servants: make(map[string]Handler),
+		conns:    make(map[*serverConn]struct{}),
+	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	if s.maxMsg == 0 {
+		s.maxMsg = giop.DefaultMaxMessage
+	}
+	if s.name == "" {
+		s.name = "wire.server"
+	}
+	prev := int32(-1)
+	for _, lc := range cfg.Lanes {
+		if lc.Workers < 1 {
+			return nil, fmt.Errorf("wire: lane %d: workers must be >= 1", lc.Priority)
+		}
+		if int32(lc.Priority) <= prev {
+			return nil, fmt.Errorf("wire: lane priorities must be ascending (floor %d)", lc.Priority)
+		}
+		prev = int32(lc.Priority)
+		if lc.QueueLimit <= 0 {
+			lc.QueueLimit = 256
+		}
+		lane := &serverLane{
+			cfg:   lc,
+			ch:    make(chan laneWork, lc.QueueLimit),
+			label: strconv.Itoa(int(lc.Priority)),
+		}
+		s.lanes = append(s.lanes, lane)
+		for i := 0; i < lc.Workers; i++ {
+			s.workers.Add(1)
+			go s.worker(lane)
+		}
+	}
+	return s, nil
+}
+
+// Registry returns the server's telemetry registry (for /metrics).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Register binds a servant to an object key. Registering the empty key
+// installs a fallback receiving every unmatched key.
+func (s *Server) Register(key string, h Handler) {
+	s.mu.Lock()
+	s.servants[key] = h
+	s.mu.Unlock()
+}
+
+// lookup resolves the servant for key (exact, then "" fallback).
+func (s *Server) lookup(key string) (Handler, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.servants[key]; ok {
+		return h, true
+	}
+	h, ok := s.servants[""]
+	return h, ok
+}
+
+// laneFor returns the highest lane whose floor is <= p (the lowest lane
+// when p is below every floor), rtcorba's banding rule.
+func (s *Server) laneFor(p int16) *serverLane {
+	lane := s.lanes[0]
+	for _, l := range s.lanes[1:] {
+		if p >= l.cfg.Priority {
+			lane = l
+		}
+	}
+	return lane
+}
+
+// Serve accepts connections from lis until the listener closes (or
+// Shutdown runs) and serves each on its own goroutine. It returns the
+// accept error that ended the loop (nil after Shutdown).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			if s.closed.Load() || s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.reg.Counter("wire.server.accepts").Inc()
+		s.readers.Add(1)
+		go func() {
+			defer s.readers.Done()
+			s.ServeConn(nc)
+		}()
+	}
+}
+
+// Listen binds a TCP listener on addr (port 0 picks a free port),
+// starts Serve on a background goroutine, and returns the bound
+// address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.readers.Add(1)
+	go func() {
+		defer s.readers.Done()
+		_ = s.Serve(lis)
+	}()
+	return lis.Addr(), nil
+}
+
+// ServeConn runs the read loop for one established connection until the
+// peer closes it, a protocol error occurs, or the server shuts down. It
+// is the loopback entry point: tests hand it one end of a net.Pipe.
+func (s *Server) ServeConn(nc net.Conn) {
+	c := &serverConn{s: s, nc: nc, peer: nc.RemoteAddr().String()}
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	g := s.reg.Gauge("wire.server.connections")
+	s.mu.Unlock()
+	g.Add(1)
+	defer func() {
+		c.close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		g.Add(-1)
+	}()
+
+	br := bufio.NewReaderSize(nc, 32<<10)
+	for {
+		bufp := getFrameBuf()
+		frame, err := giop.ReadFrame(br, s.maxMsg, *bufp)
+		if err != nil {
+			putFrameBuf(bufp)
+			if err != io.EOF && !s.closed.Load() {
+				s.reg.Counter("wire.server.read_errors").Inc()
+				c.write(&giop.MessageError{})
+			}
+			return
+		}
+		msg, err := giop.Decode(frame)
+		// Decode copies every field it extracts, so the frame buffer can
+		// be recycled immediately regardless of outcome.
+		*bufp = frame[:0]
+		putFrameBuf(bufp)
+		if err != nil {
+			s.reg.Counter("wire.server.protocol_errors").Inc()
+			c.write(&giop.MessageError{})
+			return
+		}
+		switch m := msg.(type) {
+		case *giop.Request:
+			s.handleRequest(c, m)
+		case *giop.CancelRequest:
+			c.cancelled.Store(m.RequestID, struct{}{})
+			s.reg.Counter("wire.server.cancels").Inc()
+		case *giop.LocateRequest:
+			_, ok := s.lookup(string(m.ObjectKey))
+			status := giop.LocateObjectHere
+			if !ok {
+				status = giop.LocateUnknownObject
+			}
+			c.write(&giop.LocateReply{RequestID: m.RequestID, Status: status})
+		case *giop.CloseConnection:
+			return
+		case *giop.MessageError:
+			s.reg.Counter("wire.server.protocol_errors").Inc()
+			return
+		default:
+			// A Reply or LocateReply arriving at a server is a protocol
+			// violation from this side of the connection.
+			s.reg.Counter("wire.server.protocol_errors").Inc()
+			c.write(&giop.MessageError{})
+			return
+		}
+	}
+}
+
+// handleRequest parses the request's QoS contexts and enqueues it on
+// its priority lane, refusing with TRANSIENT minor 2 when the lane
+// queue is full or the server is draining.
+func (s *Server) handleRequest(c *serverConn, m *giop.Request) {
+	req := &Request{
+		Key:       string(m.ObjectKey),
+		Operation: m.Operation,
+		Body:      m.Body,
+		Peer:      c.peer,
+		Oneway:    !m.ResponseExpected,
+	}
+	if data, ok := giop.FindContext(m.ServiceContexts, giop.ServiceRTCorbaPriority); ok {
+		if p, err := giop.ParsePriorityContext(data); err == nil {
+			req.Priority = p
+		}
+	}
+	if data, ok := giop.FindContext(m.ServiceContexts, giop.ServiceDeadline); ok {
+		if exp, err := giop.ParseDeadlineContext(data); err == nil && exp > 0 {
+			req.Deadline = time.Unix(0, exp)
+		}
+	}
+	if data, ok := giop.FindContext(m.ServiceContexts, giop.ServiceInvocationTimestamp); ok {
+		if ts, err := giop.ParseTimestampContext(data); err == nil && ts > 0 {
+			req.SentAt = time.Unix(0, ts)
+		}
+	}
+	if data, ok := giop.FindContext(m.ServiceContexts, giop.ServiceTraceContext); ok {
+		if tid, sid, err := giop.ParseTraceContext(data); err == nil {
+			req.TraceCtx = trace.SpanContext{Trace: trace.TraceID(tid), Span: trace.SpanID(sid)}
+		}
+	}
+
+	lane := s.laneFor(req.Priority)
+	laneL := telemetry.L("lane", lane.label)
+	s.reg.Counter("wire.server.requests", laneL).Inc()
+	if s.draining.Load() {
+		s.refuse(c, req, m.RequestID, lane, "draining")
+		return
+	}
+	s.inflight.Add(1)
+	select {
+	case lane.ch <- laneWork{conn: c, req: req, id: m.RequestID, enqueued: time.Now()}:
+	default:
+		s.inflight.Done()
+		s.refuse(c, req, m.RequestID, lane, "queue_full")
+	}
+}
+
+// refuse sheds an arriving request with TRANSIENT minor 2 — the same
+// bytes the simulated ORB's lanes emit for an admission refusal.
+func (s *Server) refuse(c *serverConn, req *Request, id uint32, lane *serverLane, why string) {
+	s.reg.Counter("wire.server.refused", telemetry.L("lane", lane.label), telemetry.L("reason", why)).Inc()
+	s.publishShed(req, lane, why)
+	if !req.Oneway {
+		c.write(&giop.Reply{
+			RequestID: id,
+			Status:    giop.StatusSystemException,
+			Body:      encodeException(excTransient, 2, s.order),
+		})
+	}
+}
+
+// shed drops an already-queued request whose deadline expired before a
+// worker reached it, answering TIMEOUT — the wire counterpart of the
+// simulated lanes' deadline shedding.
+func (s *Server) shed(w laneWork, lane *serverLane) {
+	s.reg.Counter("wire.server.deadline_shed", telemetry.L("lane", lane.label)).Inc()
+	s.publishShed(w.req, lane, "deadline")
+	if tr := s.cfg.Tracer; tr != nil {
+		ctx := tr.StartChild(w.req.TraceCtx, "wire.shed",
+			trace.String("op", w.req.Operation), trace.String("reason", "deadline"))
+		tr.Finish(ctx)
+	}
+	if !w.req.Oneway {
+		w.conn.write(&giop.Reply{
+			RequestID: w.id,
+			Status:    giop.StatusSystemException,
+			Body:      encodeException(excTimeout, 1, s.order),
+		})
+	}
+}
+
+func (s *Server) publishShed(req *Request, lane *serverLane, why string) {
+	if s.cfg.Bus == nil {
+		return
+	}
+	at := sinceStart()
+	if tr := s.cfg.Tracer; tr != nil {
+		at = tr.Elapsed()
+	}
+	s.cfg.Bus.PublishAt(at, events.KindShed, s.name,
+		events.F("lane", lane.label),
+		events.F("op", req.Operation),
+		events.F("reason", why),
+	)
+}
+
+// worker drains one lane until its channel closes at shutdown.
+func (s *Server) worker(lane *serverLane) {
+	defer s.workers.Done()
+	laneL := telemetry.L("lane", lane.label)
+	queueH := s.reg.Histogram("wire.server.queue_ms", laneL)
+	execH := s.reg.Histogram("wire.server.exec_ms", laneL)
+	for w := range lane.ch {
+		now := time.Now()
+		queueH.Observe(float64(now.Sub(w.enqueued)) / float64(time.Millisecond))
+		if _, cancelled := w.conn.cancelled.LoadAndDelete(w.id); cancelled {
+			s.reg.Counter("wire.server.cancelled", laneL).Inc()
+			s.inflight.Done()
+			continue
+		}
+		if !w.req.Deadline.IsZero() && now.After(w.req.Deadline) {
+			s.shed(w, lane)
+			s.inflight.Done()
+			continue
+		}
+		s.dispatch(w, lane, execH)
+		s.inflight.Done()
+	}
+}
+
+// dispatch runs the servant and writes the reply.
+func (s *Server) dispatch(w laneWork, lane *serverLane, execH *telemetry.Histogram) {
+	var ctx trace.SpanContext
+	tr := s.cfg.Tracer
+	if tr != nil {
+		ctx = tr.StartChild(w.req.TraceCtx, "wire.dispatch",
+			trace.String("op", w.req.Operation),
+			trace.String("lane", lane.label),
+			trace.Int("priority", int64(w.req.Priority)))
+	}
+	start := time.Now()
+
+	var body []byte
+	var err error
+	h, ok := s.lookup(w.req.Key)
+	if !ok {
+		err = &Exception{ID: excObjectNotExist, Minor: 1}
+	} else {
+		body, err = h.Dispatch(w.req)
+	}
+
+	elapsed := time.Since(start)
+	execH.ObserveEx(float64(elapsed)/float64(time.Millisecond), telemetry.Exemplar{
+		TraceID: uint64(ctx.Trace), SpanID: uint64(ctx.Span), At: time.Duration(sinceStart()),
+	})
+	outcome := "ok"
+	if err != nil {
+		outcome = "exception"
+	}
+	if tr != nil {
+		tr.Finish(ctx, trace.String("outcome", outcome))
+	}
+	s.reg.Counter("wire.server.dispatched", telemetry.L("lane", lane.label), telemetry.L("outcome", outcome)).Inc()
+
+	if w.req.Oneway {
+		return
+	}
+	rep := &giop.Reply{RequestID: w.id}
+	switch e := err.(type) {
+	case nil:
+		rep.Status = giop.StatusNoException
+		rep.Body = body
+	case *Exception:
+		rep.Status = giop.StatusSystemException
+		rep.Body = encodeException(e.ID, e.Minor, s.order)
+	default:
+		rep.Status = giop.StatusSystemException
+		rep.Body = encodeException(excUnknown, 1, s.order)
+	}
+	w.conn.write(rep)
+}
+
+// Shutdown drains the server gracefully: stop accepting, tell peers to
+// close (GIOP CloseConnection), finish queued and executing requests up
+// to grace, then close every connection and stop the workers. Requests
+// arriving during the drain are refused with TRANSIENT. It is
+// idempotent; only the first call does the work.
+func (s *Server) Shutdown(grace time.Duration) {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	lis := s.lis
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.write(&giop.CloseConnection{})
+	}
+
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	timer := time.NewTimer(grace)
+	select {
+	case <-done:
+		timer.Stop()
+	case <-timer.C:
+		s.reg.Counter("wire.server.drain_timeouts").Inc()
+	}
+
+	s.closed.Store(true)
+	s.mu.Lock()
+	conns = conns[:0]
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+	s.readers.Wait()
+	for _, lane := range s.lanes {
+		close(lane.ch)
+	}
+	s.workers.Wait()
+}
+
+// write marshals and sends one message, serialised per connection.
+func (c *serverConn) write(m giop.Message) {
+	buf := m.Marshal(c.s.order)
+	c.wmu.Lock()
+	_, err := c.nc.Write(buf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.s.reg.Counter("wire.server.write_errors").Inc()
+		c.close()
+	}
+}
+
+func (c *serverConn) close() {
+	c.closeOnce.Do(func() { c.nc.Close() })
+}
+
+// processStart anchors wall-clock bus timestamps for components without
+// a tracer of their own.
+var processStart = time.Now()
+
+func sinceStart() sim.Time { return sim.Time(time.Since(processStart)) }
