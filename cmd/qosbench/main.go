@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	qosbench [-run all|fig2|fig4|fig5|fig6|fig7|table1|table2]
-//	         [-seed N] [-duration D] [-series]
+//	qosbench [-run all|fig2|fig4|fig5|fig6|fig7|table1|table2|overload|slo|ablations|wire|chaos|verify]
+//	         [-seed N] [-duration D] [-requests N] [-series]
 //
 // -duration scales the measured portion of each experiment; the default
 // 0 selects each experiment's paper-scale length (30s for the DiffServ
@@ -22,14 +22,16 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, wire, verify (wire and verify are explicit-only)")
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, wire, chaos, verify (wire, chaos and verify are explicit-only)")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	requests := flag.Int("requests", 0, "chaos soak request count (0 = default 10000)")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = paper scale)")
 	series := flag.Bool("series", false, "dump raw latency series for fig4/fig5/fig6")
 	csv := flag.Bool("csv", false, "emit latency series as CSV instead of gnuplot-style text")
@@ -148,6 +150,29 @@ func main() {
 		emit("wire", wireStats(res))
 		ran++
 	}
+	// "chaos" is likewise explicit-only: a wall-clock soak over real TCP
+	// with fault injection, asserting the robustness invariants hard
+	// (non-zero exit on any breach, for the CI smoke step).
+	if *run == "chaos" {
+		rep, err := chaos.RunSoak(chaos.SoakConfig{
+			Seed:     *seed,
+			Requests: *requests,
+			Log:      func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos soak: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Render())
+		emit("chaos", chaosStats(rep))
+		if v := rep.Violations(); len(v) > 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "chaos soak invariant violated: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		ran++
+	}
 	if *run == "verify" {
 		checks := experiments.Verify(opt)
 		fmt.Println(experiments.RenderChecks(checks))
@@ -199,6 +224,15 @@ type benchStat struct {
 	AlertFiredMs float64 `json:"alert_fired_ms,omitempty"`
 	KeptPerSec   float64 `json:"kept_traces_per_sec,omitempty"`
 	MissKept     float64 `json:"deadline_miss_kept_ratio,omitempty"`
+	// Chaos-scenario fields: successful-failover latency percentiles,
+	// retry-budget accounting, and the recovery bounds measured around
+	// the primary kill/restart window.
+	FailoverP50Ms     float64 `json:"failover_p50_ms,omitempty"`
+	FailoverP99Ms     float64 `json:"failover_p99_ms,omitempty"`
+	RetryBudgetSpent  int64   `json:"retry_budget_spent,omitempty"`
+	RetryBudgetDenied int64   `json:"retry_budget_denied,omitempty"`
+	ServiceGapMs      float64 `json:"service_gap_ms,omitempty"`
+	RedetectMs        float64 `json:"redetect_ms,omitempty"`
 }
 
 type benchFile struct {
@@ -253,6 +287,58 @@ func wireStats(r *wire.BenchResult) []benchStat {
 		be.ShedRate = (r.Refused + r.Shed) / float64(r.BE.Offered)
 	}
 	return []benchStat{ef, be}
+}
+
+// chaosStats reports the chaos soak: EF latency with and without BE
+// torture (the isolation claim), BE latency under torture, and one
+// failover/recovery entry carrying the budget and bound measurements.
+func chaosStats(r *chaos.SoakReport) []benchStat {
+	rate := func(n int, ms float64) float64 {
+		if ms <= 0 {
+			return 0
+		}
+		return float64(n) / (ms / 1000)
+	}
+	return []benchStat{
+		{
+			Scenario:   "chaos EF baseline (no faults)",
+			Samples:    r.EFBaselineN,
+			P50Ms:      r.EFBaselineP50Ms,
+			P95Ms:      r.EFBaselineP95Ms,
+			P99Ms:      r.EFBaselineP99Ms,
+			Throughput: rate(r.EFBaselineN, r.WarmMs),
+		},
+		{
+			Scenario:   "chaos EF under BE torture",
+			Samples:    r.EFFaultN,
+			P50Ms:      r.EFFaultP50Ms,
+			P95Ms:      r.EFFaultP95Ms,
+			P99Ms:      r.EFFaultP99Ms,
+			Throughput: rate(r.EFFaultN, r.FaultMs),
+		},
+		{
+			Scenario:   "chaos BE under torture (latency + kill/restart)",
+			Samples:    r.BEFaultN,
+			P50Ms:      r.BEFaultP50Ms,
+			P95Ms:      r.BEFaultP95Ms,
+			P99Ms:      r.BEFaultP99Ms,
+			Throughput: rate(r.BEFaultN, r.FaultMs),
+		},
+		{
+			Scenario:          "chaos failover/recovery",
+			Samples:           r.Failovers,
+			P50Ms:             r.FailoverP50Ms,
+			P95Ms:             r.FailoverP95Ms,
+			P99Ms:             r.FailoverP99Ms,
+			Throughput:        rate(r.Failovers, r.FaultMs),
+			FailoverP50Ms:     r.FailoverP50Ms,
+			FailoverP99Ms:     r.FailoverP99Ms,
+			RetryBudgetSpent:  r.RetryBudgetSpent,
+			RetryBudgetDenied: r.RetryBudgetDenied,
+			ServiceGapMs:      r.ServiceGapMs,
+			RedetectMs:        r.RedetectMs,
+		},
+	}
 }
 
 // prioStats reports both receiver flows of a DiffServ priority case.

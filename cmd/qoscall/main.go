@@ -11,12 +11,24 @@
 // -be-hz above the BE lane's service capacity the BE class saturates —
 // queueing delay plus TRANSIENT sheds — while EF latency should hold
 // its no-load shape. That contrast is the point of the tool.
+//
+// With -failover, -addr becomes an ordered comma-separated endpoint
+// set (primary first) driven through a fault-tolerant group client:
+// per-endpoint circuit breakers, heartbeat health probes, a shared
+// retry budget, and FT-context-stamped at-most-once failover. Kill the
+// primary mid-run (or front it with qoschaos) and the load keeps
+// completing against the alternates:
+//
+//	qosserve -addr 127.0.0.1:7316 &
+//	qosserve -addr 127.0.0.1:7317 &
+//	qoscall  -addr 127.0.0.1:7316,127.0.0.1:7317 -failover -duration 5s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/wire"
@@ -32,31 +44,56 @@ func main() {
 	efTimeout := flag.Duration("ef-timeout", 500*time.Millisecond, "EF per-call RELATIVE_RT_TIMEOUT")
 	beTimeout := flag.Duration("be-timeout", 5*time.Second, "BE per-call RELATIVE_RT_TIMEOUT")
 	connsPerBand := flag.Int("conns", 1, "connections per priority band")
+	failover := flag.Bool("failover", false, "treat -addr as a comma-separated endpoint set (primary first) and drive it through the fault-tolerant group client")
 	flag.Parse()
 
-	cli, err := wire.NewClient(wire.ClientConfig{
-		Addr:         *addr,
-		Bands:        []int16{0, wire.EFPriority},
-		ConnsPerBand: *connsPerBand,
-		Name:         "qoscall",
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "qoscall: %v\n", err)
-		os.Exit(1)
+	var cli wire.Invoker
+	if *failover {
+		endpoints := strings.Split(*addr, ",")
+		g, err := wire.NewGroupClient(wire.GroupConfig{
+			Endpoints:    endpoints,
+			Bands:        []int16{0, wire.EFPriority},
+			ConnsPerBand: *connsPerBand,
+			Name:         "qoscall.group",
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoscall: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			fmt.Printf("failover: primary=%s budget spent=%d denied=%d\n",
+				endpoints[g.Primary()], g.Budget().Spent(), g.Budget().Denied())
+			g.Close()
+		}()
+		cli = g
+	} else {
+		c, err := wire.NewClient(wire.ClientConfig{
+			Addr:         *addr,
+			Bands:        []int16{0, wire.EFPriority},
+			ConnsPerBand: *connsPerBand,
+			Name:         "qoscall",
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoscall: %v\n", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		cli = c
 	}
-	defer cli.Close()
 
 	var classes []wire.LoadClass
+	// The echo servant is idempotent, so under -failover ambiguous
+	// failures may retry cross-endpoint.
 	if *efHz > 0 {
 		classes = append(classes, wire.LoadClass{
 			Name: "EF", Priority: wire.EFPriority, Hz: *efHz,
-			Payload: *payload, Timeout: *efTimeout, Key: *op,
+			Payload: *payload, Timeout: *efTimeout, Key: *op, Idempotent: *failover,
 		})
 	}
 	if *beHz > 0 {
 		classes = append(classes, wire.LoadClass{
 			Name: "BE", Priority: 0, Hz: *beHz,
-			Payload: *payload, Timeout: *beTimeout, Key: *op,
+			Payload: *payload, Timeout: *beTimeout, Key: *op, Idempotent: *failover,
 		})
 	}
 	if len(classes) == 0 {

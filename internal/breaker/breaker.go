@@ -59,6 +59,13 @@ type Config struct {
 	Cooldown time.Duration
 	// CooldownCap bounds the doubled cooldown.
 	CooldownCap time.Duration
+	// ProbeTimeout bounds how long a half-open window waits for its
+	// probe's outcome. A probe whose caller never reports back (an
+	// abandoned call, a crashed prober goroutine) would otherwise wedge
+	// the circuit half-open forever, refusing all traffic; after
+	// ProbeTimeout the window re-arms and admits a fresh probe. Defaults
+	// to CooldownCap (Cooldown if the cap is unset).
+	ProbeTimeout time.Duration
 }
 
 // Transition records one circuit state change. At is in the injected
@@ -76,6 +83,10 @@ type entry struct {
 	fails    int           // consecutive classified failures while closed
 	until    int64         // open: earliest instant a probe may go out
 	cooldown time.Duration // current open interval (doubles on failed probes)
+	// probeAt is the instant the current half-open probe was admitted;
+	// a probe outstanding past ProbeTimeout is presumed lost and the
+	// window re-arms.
+	probeAt int64
 }
 
 // Machine tracks circuit state for a set of endpoints, keyed by an
@@ -127,6 +138,12 @@ func (m *Machine) open(ep string, e *entry) Transition {
 // circuit's cooldown has elapsed it flips to half-open and admits the
 // calling invocation as the single probe; the resulting transition is
 // returned with changed=true so callers can log it.
+//
+// The single-probe guarantee holds under concurrency: the state flip to
+// HalfOpen happens under the machine lock, so of N goroutines racing
+// Allow on an elapsed open circuit exactly one is admitted per
+// half-open window — every other caller sees HalfOpen and is refused
+// until the probe's outcome (or ProbeTimeout) resolves the window.
 func (m *Machine) Allow(ep string) (ok bool, tr Transition, changed bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -136,12 +153,30 @@ func (m *Machine) Allow(ep string) (ok bool, tr Transition, changed bool) {
 		return true, Transition{}, false
 	case Open:
 		if m.now() >= e.until {
+			e.probeAt = m.now()
 			return true, m.transition(ep, e, HalfOpen), true
 		}
 		return false, Transition{}, false
 	default: // HalfOpen: the probe is already in flight
+		if m.now() >= e.probeAt+int64(m.probeTimeout()) {
+			// The probe's outcome never came back; re-arm the window and
+			// admit this caller as the replacement probe.
+			e.probeAt = m.now()
+			return true, Transition{}, false
+		}
 		return false, Transition{}, false
 	}
+}
+
+// probeTimeout returns the effective half-open probe timeout.
+func (m *Machine) probeTimeout() time.Duration {
+	if m.cfg.ProbeTimeout > 0 {
+		return m.cfg.ProbeTimeout
+	}
+	if m.cfg.CooldownCap > 0 {
+		return m.cfg.CooldownCap
+	}
+	return m.cfg.Cooldown
 }
 
 // Record feeds an invocation outcome (failed = a classified breaker

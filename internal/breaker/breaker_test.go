@@ -2,6 +2,7 @@ package breaker
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -88,6 +89,83 @@ func TestMachineCooldownCapAndJitter(t *testing.T) {
 	}
 	if jittered == 0 {
 		t.Fatal("jitter source never consulted")
+	}
+}
+
+// TestHalfOpenSingleProbeRace pins the single-probe guarantee under
+// concurrency: N goroutines race Allow against an open circuit whose
+// cooldown has elapsed, and exactly one must be admitted per half-open
+// window. Run with -race, this is the regression test for the wire
+// plane's failover path, where many caller goroutines share one machine
+// and all hit the elapsed circuit at once.
+func TestHalfOpenSingleProbeRace(t *testing.T) {
+	const goroutines = 32
+	const windows = 50
+	m := New(Config{Threshold: 1, Cooldown: time.Nanosecond, CooldownCap: time.Nanosecond, ProbeTimeout: time.Hour},
+		func() int64 { return time.Now().UnixNano() }, nil)
+
+	// Open the circuit once; each window's failed probe re-opens it. The
+	// 1ns cooldown has always elapsed by the time the goroutines race,
+	// so every Allow sees an admissible open circuit.
+	if tr, changed := m.Record("ep", true); !changed || tr.To != Open {
+		t.Fatalf("opening transition = %+v changed=%v", tr, changed)
+	}
+	for w := 0; w < windows; w++ {
+		var admitted atomic.Int32
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if ok, tr, changed := m.Allow("ep"); ok {
+					admitted.Add(1)
+					if !changed || tr.To != HalfOpen {
+						t.Errorf("admitted probe without half-open transition: %+v changed=%v", tr, changed)
+					}
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if got := admitted.Load(); got != 1 {
+			t.Fatalf("window %d: %d probes admitted, want exactly 1", w, got)
+		}
+		// Resolve the window: the failed probe re-opens the circuit for
+		// the next iteration.
+		if tr, changed := m.Record("ep", true); !changed || tr.To != Open {
+			t.Fatalf("window %d: probe outcome = %+v changed=%v, want >open", w, tr, changed)
+		}
+	}
+}
+
+// TestHalfOpenProbeTimeoutRearms pins the stuck-probe recovery: a probe
+// that never reports back must not wedge the circuit half-open forever;
+// after ProbeTimeout the window re-arms and admits a fresh probe.
+func TestHalfOpenProbeTimeoutRearms(t *testing.T) {
+	now := int64(0)
+	m := New(Config{Threshold: 1, Cooldown: 100, CooldownCap: 400, ProbeTimeout: 1000},
+		func() int64 { return now }, nil)
+	m.Record("a", true)
+	now = 100
+	if ok, _, _ := m.Allow("a"); !ok {
+		t.Fatal("post-cooldown probe refused")
+	}
+	// The probe is lost: no Record ever arrives. Before the timeout the
+	// window stays exclusive ...
+	now = 1099
+	if ok, _, _ := m.Allow("a"); ok {
+		t.Fatal("second probe admitted before ProbeTimeout")
+	}
+	// ... and after it a replacement probe is admitted.
+	now = 1100
+	if ok, _, _ := m.Allow("a"); !ok {
+		t.Fatal("replacement probe refused after ProbeTimeout")
+	}
+	// The replacement's success closes the circuit normally.
+	if tr, changed := m.Record("a", false); !changed || tr.To != Closed {
+		t.Fatalf("replacement probe success = %+v changed=%v, want >closed", tr, changed)
 	}
 }
 

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/wire"
+)
+
+// rig stands up server ← proxy ← client over real loopback TCP, with
+// the client's breaker effectively disabled so each test observes the
+// raw transport failure rather than a fast-fail.
+func rig(t *testing.T, schedule []Fault) (*Proxy, *wire.Client) {
+	t.Helper()
+	srv, err := wire.NewServer(wire.ServerConfig{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	srv.Register("app/echo", wire.HandlerFunc(func(req *wire.Request) ([]byte, error) {
+		return req.Body, nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	p, err := New(Config{Target: addr.String(), Schedule: schedule, Seed: 42})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	cli, err := wire.NewClient(wire.ClientConfig{
+		Addr:           p.Addr(),
+		RequestTimeout: 2 * time.Second,
+		Breaker:        breaker.Config{Threshold: 1 << 20, Cooldown: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() {
+		cli.Close()
+		p.Close()
+		srv.Shutdown(2 * time.Second)
+	})
+	return p, cli
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	_, cli := rig(t, nil)
+	got, err := cli.Invoke("app/echo", "echo", []byte("ping"), wire.CallOptions{})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if string(got) != "ping" {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestProxyLatencyFault(t *testing.T) {
+	p, cli := rig(t, nil)
+	if _, err := cli.Invoke("app/echo", "echo", []byte("warm"), wire.CallOptions{}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	p.Inject(Fault{Kind: FaultLatency, Latency: 60 * time.Millisecond, Duration: 5 * time.Second})
+	start := time.Now()
+	if _, err := cli.Invoke("app/echo", "echo", []byte("slow"), wire.CallOptions{}); err != nil {
+		t.Fatalf("Invoke under latency: %v", err)
+	}
+	// Request and reply chunks each eat the added latency at least once.
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("latency fault not applied: call took %v", d)
+	}
+}
+
+func TestProxyCorruptFaultSurfacesAsError(t *testing.T) {
+	p, cli := rig(t, nil)
+	if _, err := cli.Invoke("app/echo", "echo", []byte("warm"), wire.CallOptions{}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	p.Inject(Fault{Kind: FaultCorrupt, Prob: 1, Duration: 5 * time.Second})
+	_, err := cli.Invoke("app/echo", "echo", []byte("garble-me"), wire.CallOptions{})
+	// A flipped byte must surface as a classified failure — a protocol
+	// error or a dead connection — never as a quietly wrong reply.
+	if err == nil {
+		t.Fatal("corrupted invocation returned success")
+	}
+	if !errors.Is(err, wire.ErrProtocol) && !errors.Is(err, wire.ErrUnavailable) &&
+		!errors.Is(err, wire.ErrDeadlineExpired) {
+		t.Fatalf("corrupted invocation error = %v, want protocol/unavailable/timeout class", err)
+	}
+}
+
+func TestProxyBlackholeTimesOut(t *testing.T) {
+	p, cli := rig(t, nil)
+	if _, err := cli.Invoke("app/echo", "echo", []byte("warm"), wire.CallOptions{}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	p.Inject(Fault{Kind: FaultBlackhole, Duration: 5 * time.Second})
+	_, err := cli.Invoke("app/echo", "echo", []byte("void"), wire.CallOptions{Timeout: 200 * time.Millisecond})
+	if !errors.Is(err, wire.ErrDeadlineExpired) {
+		t.Fatalf("blackholed invocation error = %v, want ErrDeadlineExpired", err)
+	}
+}
+
+func TestProxyKillThenRestart(t *testing.T) {
+	p, cli := rig(t, nil)
+	if _, err := cli.Invoke("app/echo", "echo", []byte("warm"), wire.CallOptions{}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	p.Kill()
+	if _, err := cli.Invoke("app/echo", "echo", []byte("dead"), wire.CallOptions{Timeout: time.Second}); err == nil {
+		t.Fatal("invocation through killed proxy succeeded")
+	}
+	if err := p.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	// The client redials on the next call; allow a couple of attempts
+	// while the listener settles.
+	var err error
+	for i := 0; i < 10; i++ {
+		if _, err = cli.Invoke("app/echo", "echo", []byte("back"), wire.CallOptions{Timeout: time.Second}); err == nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("invocation after restart still failing: %v", err)
+}
+
+func TestProxyScheduledWindowClears(t *testing.T) {
+	p, cli := rig(t, []Fault{
+		{Kind: FaultLatency, At: 0, Duration: 150 * time.Millisecond, Latency: 50 * time.Millisecond},
+	})
+	_ = p
+	time.Sleep(300 * time.Millisecond) // window over
+	start := time.Now()
+	if _, err := cli.Invoke("app/echo", "echo", []byte("fast-again"), wire.CallOptions{}); err != nil {
+		t.Fatalf("Invoke after window: %v", err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("latency window did not clear: call took %v", d)
+	}
+}

@@ -49,6 +49,13 @@ const (
 	// KindSLOBurn is an SLO burn-rate window pair changing state
 	// (firing when both windows exceed the pair's burn threshold).
 	KindSLOBurn Kind = "slo_burn"
+	// KindChaos is a chaos-injection boundary: a fault in a chaos
+	// proxy's schedule starting or stopping (chaos_* records let fault
+	// timelines line up with failover and breaker records).
+	KindChaos Kind = "chaos"
+	// KindHealth is an endpoint health-probe verdict changing (a group
+	// client marking an endpoint down or back up).
+	KindHealth Kind = "health"
 )
 
 // Field is one ordered key/value annotation on a record.

@@ -37,6 +37,10 @@ const (
 	// machinery: deadline sheds, admission refusals, and circuit-breaker
 	// transitions.
 	LayerOverload = "overload"
+	// LayerChaos tags spans emitted by the chaos TCP proxy
+	// (internal/chaos): one span per active fault window, so injected
+	// fault timelines line up with the failover spans they provoke.
+	LayerChaos = "chaos"
 	// LayerWire tags spans emitted by the real-socket GIOP plane
 	// (internal/wire): client invocations, connection reads, lane
 	// queueing and servant dispatch over actual TCP.

@@ -1,0 +1,81 @@
+package wire
+
+import "sync"
+
+// RetryBudget is a token bucket bounding transport-level retries so a
+// sick endpoint set cannot trigger a retry storm: when every request
+// fails and retries N times, the offered load on the backend multiplies
+// by N+1 exactly when it is least able to absorb it.
+//
+// The bucket couples retry capacity to useful traffic instead of to
+// time: every first attempt of a logical request earns Ratio tokens
+// (capped at Max), and every retry spends one. In steady state retries
+// are therefore at most a Ratio fraction of offered load — with the
+// default Ratio 0.1, a total endpoint-set outage degrades into
+// first-attempt failures plus ≤10% retry traffic, not a multiplicative
+// storm — while short failure bursts can draw down the accumulated Max
+// tokens and retry every affected request.
+//
+// A budget is safe for concurrent use and is shared across all bands
+// and endpoints of one GroupClient (the storm risk is per destination
+// group, not per connection).
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+	spent  int64
+	denied int64
+}
+
+// NewRetryBudget creates a full bucket holding max tokens, earning
+// ratio tokens per first attempt.
+func NewRetryBudget(max, ratio float64) *RetryBudget {
+	return &RetryBudget{tokens: max, max: max, ratio: ratio}
+}
+
+// Earn credits the bucket for one first-attempt request.
+func (b *RetryBudget) Earn() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// TryAcquire spends one token for a retry, reporting whether the budget
+// allowed it. A denied retry is counted and the caller must surface the
+// original failure instead of retrying.
+func (b *RetryBudget) TryAcquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens >= 1 {
+		b.tokens--
+		b.spent++
+		return true
+	}
+	b.denied++
+	return false
+}
+
+// Tokens returns the current token balance.
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Spent returns the number of retries the budget has granted.
+func (b *RetryBudget) Spent() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}
+
+// Denied returns the number of retries the budget has refused.
+func (b *RetryBudget) Denied() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

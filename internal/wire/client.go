@@ -119,6 +119,18 @@ type pendingCall struct {
 	err   error
 }
 
+// FTRequest identifies one logical fault-tolerant invocation for
+// at-most-once duplicate suppression: every transport-level retry of
+// the same logical request — against the same endpoint after a
+// reconnect, or another group member after failover — carries the
+// identical (Group, Client, Retention) triple in the GIOP FT request
+// service context (0x13), so a server that already executed it returns
+// the cached reply instead of running the servant again.
+type FTRequest struct {
+	Group, Client uint64
+	Retention     uint32
+}
+
 // CallOptions shape one invocation.
 type CallOptions struct {
 	// Priority selects the connection band and propagates end to end in
@@ -129,6 +141,13 @@ type CallOptions struct {
 	// Oneway sends without expecting a reply; Invoke returns as soon as
 	// the request bytes are written.
 	Oneway bool
+	// Idempotent marks the operation safe to re-execute; the failover
+	// layer may then retry it even after an ambiguous failure (the
+	// connection died after the request bytes were written). Plain
+	// clients ignore it.
+	Idempotent bool
+	// FT, when set, stamps the FT request service context on the wire.
+	FT *FTRequest
 }
 
 // NewClient builds a client. No connection is dialed until the first
@@ -228,7 +247,7 @@ func (c *Client) bandFor(p int16) *clientBand {
 // as classified wire errors (ErrOverload, ErrDeadlineExpired, ...).
 func (c *Client) Invoke(key, op string, body []byte, opts CallOptions) ([]byte, error) {
 	if c.closed.Load() {
-		return nil, ErrShutdown
+		return nil, ErrClientClosed
 	}
 	b := c.bandFor(opts.Priority)
 	timeout := opts.Timeout
@@ -281,6 +300,8 @@ func errClass(err error) string {
 		return "not_exist"
 	case errors.Is(err, ErrProtocol):
 		return "protocol"
+	case errors.Is(err, ErrClientClosed):
+		return "closed"
 	case errors.Is(err, ErrShutdown):
 		return "shutdown"
 	default:
@@ -308,6 +329,9 @@ func (c *Client) invokeOnce(b *clientBand, ctx trace.SpanContext, key, op string
 	if ctx.Valid() {
 		contexts = append(contexts, giop.TraceContext(uint64(ctx.Trace), uint64(ctx.Span), c.order))
 	}
+	if opts.FT != nil {
+		contexts = append(contexts, giop.FTRequestContext(opts.FT.Group, opts.FT.Client, opts.FT.Retention, c.order))
+	}
 	req := &giop.Request{
 		RequestID:        id,
 		ResponseExpected: !opts.Oneway,
@@ -323,8 +347,11 @@ func (c *Client) invokeOnce(b *clientBand, ctx trace.SpanContext, key, op string
 		var err error
 		conn, err = b.get()
 		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return nil, err
+			}
 			c.record(b, true)
-			return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, c.cfg.Addr, err)
+			return nil, fmt.Errorf("%w: %s: %v", ErrDial, c.cfg.Addr, err)
 		}
 		if opts.Oneway {
 			break
@@ -420,6 +447,9 @@ func (c *Client) observeTransition(b *clientBand, trans breaker.Transition) {
 // get returns a live connection from the band's pool, dialing one if
 // the pool is not yet full, round-robin otherwise.
 func (b *clientBand) get() (*clientConn, error) {
+	if b.c.closed.Load() {
+		return nil, ErrClientClosed
+	}
 	b.mu.Lock()
 	if len(b.conns)+b.dialing < b.c.cfg.ConnsPerBand || len(b.conns) == 0 {
 		b.dialing++
@@ -430,6 +460,14 @@ func (b *clientBand) get() (*clientConn, error) {
 		if err != nil {
 			b.mu.Unlock()
 			return nil, err
+		}
+		if b.c.closed.Load() {
+			// Close ran while this dial was in flight; it flushed the
+			// pool, so a connection appended now would never be torn
+			// down — its read loop would leak. Fail it here instead.
+			b.mu.Unlock()
+			conn.fail(ErrClientClosed)
+			return nil, ErrClientClosed
 		}
 		b.conns = append(b.conns, conn)
 		b.mu.Unlock()
@@ -482,8 +520,10 @@ func (b *clientBand) drop(conn *clientConn) {
 	conn.nc.Close()
 }
 
-// Close tears the client down: every pooled connection is closed and
-// outstanding calls fail with ErrShutdown.
+// Close tears the client down: every pooled connection is closed,
+// outstanding calls fail promptly with ErrClientClosed, and every
+// connection read loop terminates (a dial racing Close is failed on
+// the dialing goroutine's side, so nothing leaks).
 func (c *Client) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
@@ -494,7 +534,7 @@ func (c *Client) Close() {
 		b.conns = nil
 		b.mu.Unlock()
 		for _, conn := range conns {
-			conn.fail(ErrShutdown)
+			conn.fail(ErrClientClosed)
 		}
 	}
 }

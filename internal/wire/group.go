@@ -1,0 +1,527 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/cdr"
+	"repro/internal/events"
+	"repro/internal/giop"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/trace/telemetry"
+)
+
+// GroupConfig configures a GroupClient over an ordered endpoint set —
+// the wire-plane counterpart of an ft.Group reference: the first
+// endpoint is the primary profile, the rest are alternates in failover
+// order, and every logical request carries the FT request context
+// (0x13) so replicas suppress duplicate executions.
+type GroupConfig struct {
+	// Endpoints are the TCP addresses, primary first (required).
+	Endpoints []string
+	// Bands / ConnsPerBand / RequestTimeout / DialTimeout / Breaker /
+	// MaxMessage / ByteOrder are passed through to every per-endpoint
+	// Client (see ClientConfig).
+	Bands          []int16
+	ConnsPerBand   int
+	RequestTimeout time.Duration
+	DialTimeout    time.Duration
+	Breaker        breaker.Config
+	MaxMessage     uint32
+	ByteOrder      cdr.ByteOrder
+	// Registry receives wire.group.* and the per-endpoint wire.client.*
+	// telemetry (private one if nil).
+	Registry *telemetry.Registry
+	// Tracer receives group.invoke spans with per-attempt failover
+	// events (nil = no tracing).
+	Tracer *Tracer
+	// Bus, when set, receives failover (KindFailover), probe
+	// (KindHealth) and breaker transition records.
+	Bus *events.Bus
+	// Name labels telemetry and bus records ("wire.group" default).
+	Name string
+	// Seed fixes the backoff-jitter and breaker-jitter streams (0 = 1).
+	Seed int64
+
+	// FTGroup / FTClient identify this client against the replica
+	// group's dedup caches. FTGroup defaults to 1; FTClient defaults to
+	// a process-unique id (collisions across client processes would
+	// alias their retention sequences — set it explicitly when many
+	// processes share one group).
+	FTGroup  uint64
+	FTClient uint64
+
+	// MaxAttempts bounds total attempts per logical request, first
+	// included (default len(Endpoints)+1).
+	MaxAttempts int
+	// BackoffBase / BackoffCap shape the capped jittered backoff
+	// between attempts: attempt k waits in [d/2, d) for
+	// d = min(BackoffBase·2^(k-1), BackoffCap). Defaults 5ms / 200ms.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// RetryBudgetMax / RetryBudgetRatio parameterise the shared retry
+	// token bucket (defaults 64 tokens, 0.1 earned per first attempt).
+	RetryBudgetMax   float64
+	RetryBudgetRatio float64
+
+	// ProbeInterval is the endpoint heartbeat period (default 250ms;
+	// negative disables probing). Each probe dials the endpoint, sends
+	// a GIOP LocateRequest and requires any well-formed reply within
+	// ProbeTimeout (default 250ms) — so a half-open blackhole (TCP
+	// accepts, nothing answers) is detected, not just a dead port.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+
+	// Dial overrides per-endpoint connection establishment for tests.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// groupEndpoint is one member's runtime state.
+type groupEndpoint struct {
+	addr string
+	cli  *Client
+	// down is the health prober's verdict; invocations prefer up
+	// endpoints but fall back to down ones when nothing else is left.
+	down atomic.Bool
+}
+
+// GroupClient is the fault-tolerant wire client: it holds one banded
+// Client per endpoint (each with its own circuit breakers), probes
+// endpoint liveness in the background, and fails invocations over from
+// the primary to alternates — under a shared retry budget (no retry
+// storms), capped jittered backoff, and the at-most-once rule: after an
+// ambiguous failure (the connection died once request bytes may have
+// reached a server) a non-idempotent call is only ever retried against
+// the same endpoint, where the server's FT dedup cache makes the retry
+// safe; provably-unexecuted failures (dial errors, open circuits,
+// admission refusals) may fail over freely.
+type GroupClient struct {
+	cfg       GroupConfig
+	reg       *telemetry.Registry
+	name      string
+	eps       []*groupEndpoint
+	primary   atomic.Int32
+	budget    *RetryBudget
+	retention atomic.Uint32
+	jmu       sync.Mutex
+	jrand     *rand.Rand
+	base      time.Time
+	closed    atomic.Bool
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+// ftClientSeq derives default process-unique FTClient ids.
+var ftClientSeq atomic.Uint64
+
+// NewGroupClient builds a group client and starts its health probers.
+func NewGroupClient(cfg GroupConfig) (*GroupClient, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("wire: group client needs at least one endpoint")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "wire.group"
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.FTGroup == 0 {
+		cfg.FTGroup = 1
+	}
+	if cfg.FTClient == 0 {
+		cfg.FTClient = uint64(time.Now().UnixNano())<<16 | (ftClientSeq.Add(1) & 0xffff)
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = len(cfg.Endpoints) + 1
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 5 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 200 * time.Millisecond
+	}
+	if cfg.RetryBudgetMax <= 0 {
+		cfg.RetryBudgetMax = 64
+	}
+	if cfg.RetryBudgetRatio <= 0 {
+		cfg.RetryBudgetRatio = 0.1
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 250 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	g := &GroupClient{
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		name:      cfg.Name,
+		budget:    NewRetryBudget(cfg.RetryBudgetMax, cfg.RetryBudgetRatio),
+		jrand:     rand.New(rand.NewSource(seed)),
+		base:      time.Now(),
+		probeStop: make(chan struct{}),
+	}
+	for i, addr := range cfg.Endpoints {
+		addr := addr
+		ccfg := ClientConfig{
+			Addr:           addr,
+			Bands:          cfg.Bands,
+			ConnsPerBand:   cfg.ConnsPerBand,
+			RequestTimeout: cfg.RequestTimeout,
+			DialTimeout:    cfg.DialTimeout,
+			Breaker:        cfg.Breaker,
+			MaxMessage:     cfg.MaxMessage,
+			ByteOrder:      cfg.ByteOrder,
+			Registry:       cfg.Registry,
+			Tracer:         cfg.Tracer,
+			Bus:            cfg.Bus,
+			Name:           fmt.Sprintf("%s[%d]", cfg.Name, i),
+			Seed:           seed + int64(i),
+		}
+		if cfg.Dial != nil {
+			ccfg.Dial = func() (net.Conn, error) { return cfg.Dial(addr) }
+		}
+		cli, err := NewClient(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		g.eps = append(g.eps, &groupEndpoint{addr: addr, cli: cli})
+	}
+	if cfg.ProbeInterval > 0 {
+		for i := range g.eps {
+			g.probeWG.Add(1)
+			go g.probeLoop(i)
+		}
+	}
+	return g, nil
+}
+
+// Registry returns the group's telemetry registry.
+func (g *GroupClient) Registry() *telemetry.Registry { return g.reg }
+
+// Budget returns the shared retry budget (for reporting).
+func (g *GroupClient) Budget() *RetryBudget { return g.budget }
+
+// Endpoints returns the configured endpoint addresses in order.
+func (g *GroupClient) Endpoints() []string { return append([]string(nil), g.cfg.Endpoints...) }
+
+// Primary returns the index of the currently preferred endpoint.
+func (g *GroupClient) Primary() int { return int(g.primary.Load()) }
+
+// Healthy reports the prober's current verdict for endpoint i.
+func (g *GroupClient) Healthy(i int) bool { return !g.eps[i].down.Load() }
+
+// Close tears down the probers and every per-endpoint client;
+// outstanding calls fail with ErrClientClosed.
+func (g *GroupClient) Close() {
+	if !g.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(g.probeStop)
+	g.probeWG.Wait()
+	for _, ep := range g.eps {
+		ep.cli.Close()
+	}
+}
+
+// Invoke performs one logical invocation with transparent failover.
+// The request is stamped with a fresh FT retention id (unless opts.FT
+// already carries one — a caller-level retry of the same logical
+// request), so every transport-level attempt is deduplicated
+// server-side.
+func (g *GroupClient) Invoke(key, op string, body []byte, opts CallOptions) ([]byte, error) {
+	if g.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = g.eps[0].cli.cfg.RequestTimeout
+	}
+	start := time.Now()
+	deadline := start.Add(timeout)
+	if opts.FT == nil {
+		opts.FT = &FTRequest{Group: g.cfg.FTGroup, Client: g.cfg.FTClient, Retention: g.retention.Add(1)}
+	}
+
+	var span trace.SpanContext
+	tr := g.cfg.Tracer
+	if tr != nil {
+		span = tr.StartRoot("group.invoke",
+			trace.String("op", op),
+			trace.Int("priority", int64(opts.Priority)),
+			trace.Int("retention", int64(opts.FT.Retention)))
+	}
+
+	first := int(g.primary.Load())
+	ep := g.pick(first, opts.Priority)
+	var lastErr error
+	ambiguous := false
+	for attempt := 1; ; attempt++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: %v elapsed across failover attempts for %s", ErrDeadlineExpired, timeout, op)
+			}
+			break
+		}
+		opts2 := opts
+		opts2.Timeout = remaining
+		res, err := g.eps[ep].cli.Invoke(key, op, body, opts2)
+		if attempt == 1 {
+			g.budget.Earn()
+		}
+		if err == nil {
+			if attempt > 1 {
+				g.recordFailover(op, first, ep, attempt, start, span)
+			}
+			if tr != nil {
+				tr.Finish(span, trace.String("outcome", "ok"),
+					trace.String("endpoint", g.eps[ep].addr),
+					trace.Int("attempts", int64(attempt)))
+			}
+			return res, nil
+		}
+		lastErr = err
+		if isAmbiguous(err) {
+			ambiguous = true
+		}
+		if !retryable(err, opts.Idempotent, ambiguous) || attempt >= g.cfg.MaxAttempts {
+			break
+		}
+		if !g.budget.TryAcquire() {
+			g.reg.Counter("wire.group.retry_denied").Inc()
+			if tr != nil {
+				tr.Event(span, "retry_denied", trace.String("error", errClass(err)))
+			}
+			break
+		}
+		next := g.next(ep, opts.Priority, opts.Idempotent, ambiguous)
+		if d := g.backoff(attempt); d > 0 {
+			if d >= time.Until(deadline) {
+				break
+			}
+			time.Sleep(d)
+		}
+		g.reg.Counter("wire.group.retries",
+			telemetry.L("error", errClass(err)),
+			telemetry.L("from", g.eps[ep].addr)).Inc()
+		if tr != nil {
+			tr.Event(span, "failover_attempt",
+				trace.String("error", errClass(err)),
+				trace.String("from", g.eps[ep].addr),
+				trace.String("to", g.eps[next].addr))
+		}
+		if g.cfg.Bus != nil {
+			g.cfg.Bus.PublishAt(g.busNow(), events.KindFailover, g.name,
+				events.F("op", op),
+				events.F("from", g.eps[ep].addr),
+				events.F("to", g.eps[next].addr),
+				events.F("error", errClass(err)),
+				events.F("attempt", fmt.Sprintf("%d", attempt)),
+			)
+		}
+		ep = next
+	}
+	if tr != nil {
+		tr.Finish(span, trace.String("outcome", errClass(lastErr)),
+			trace.String("endpoint", g.eps[ep].addr))
+	}
+	return nil, lastErr
+}
+
+// recordFailover books a successful failover: telemetry (the
+// failover-time histogram the chaos bench reports), a bus record, and
+// primary promotion so subsequent requests go straight to the endpoint
+// that answered — the wire counterpart of ft.Group.Promote.
+func (g *GroupClient) recordFailover(op string, from, to, attempts int, start time.Time, span trace.SpanContext) {
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	g.reg.Counter("wire.group.failovers", telemetry.L("to", g.eps[to].addr)).Inc()
+	g.reg.Histogram("wire.group.failover_ms").ObserveEx(ms, telemetry.Exemplar{
+		TraceID: uint64(span.Trace), SpanID: uint64(span.Span), Value: ms, At: time.Duration(g.busNow()),
+	})
+	if to != from {
+		g.primary.CompareAndSwap(int32(from), int32(to))
+	}
+	if g.cfg.Bus != nil {
+		g.cfg.Bus.PublishAt(g.busNow(), events.KindFailover, g.name,
+			events.F("op", op),
+			events.F("to", g.eps[to].addr),
+			events.F("attempts", fmt.Sprintf("%d", attempts)),
+			events.F("outcome", "recovered"),
+		)
+	}
+}
+
+// isAmbiguous reports whether err leaves the execution state of the
+// request unknown: the connection died after the request may have been
+// written, so a server might be executing (or have executed) it.
+// Provably-unexecuted failures — dial errors, locally-open circuits,
+// server admission refusals — are not ambiguous.
+func isAmbiguous(err error) bool {
+	return errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrDial)
+}
+
+// retryable decides whether another attempt may be made at all. The
+// at-most-once rule: once an invocation has seen an ambiguous failure,
+// a non-idempotent call may only be retried where the server-side FT
+// dedup cache protects it (enforced by next keeping the endpoint);
+// deadline expiry, unknown objects, protocol errors and application
+// exceptions never retry.
+func retryable(err error, idempotent, ambiguous bool) bool {
+	switch {
+	case errors.Is(err, ErrClientClosed):
+		return false
+	case errors.Is(err, ErrDeadlineExpired):
+		return false
+	case errors.Is(err, ErrCircuitOpen), errors.Is(err, ErrOverload),
+		errors.Is(err, ErrTransient), errors.Is(err, ErrDial):
+		return true
+	case errors.Is(err, ErrUnavailable):
+		return true // ambiguous; next() restricts where it may run
+	default:
+		return false
+	}
+}
+
+// pick returns the endpoint an invocation should start on: the first
+// endpoint from the preferred index (wrapping) that is probe-healthy
+// with a non-open circuit, falling back to the preferred index when
+// every endpoint looks sick (someone has to take the probe traffic).
+func (g *GroupClient) pick(from int, prio int16) int {
+	n := len(g.eps)
+	for off := 0; off < n; off++ {
+		i := (from + off) % n
+		if !g.eps[i].down.Load() && g.eps[i].cli.BreakerState(prio) != breaker.Open {
+			return i
+		}
+	}
+	return from
+}
+
+// next returns the endpoint for the following attempt. Non-idempotent
+// invocations that have seen an ambiguous failure stay on the same
+// endpoint — its dedup cache is the only place a retry is provably
+// at-most-once; everything else advances to the next plausible
+// endpoint in profile order.
+func (g *GroupClient) next(ep int, prio int16, idempotent, ambiguous bool) int {
+	if ambiguous && !idempotent {
+		return ep
+	}
+	n := len(g.eps)
+	for off := 1; off < n; off++ {
+		i := (ep + off) % n
+		if !g.eps[i].down.Load() && g.eps[i].cli.BreakerState(prio) != breaker.Open {
+			return i
+		}
+	}
+	return (ep + 1) % n
+}
+
+// backoff returns the capped jittered wait before attempt k+1: uniform
+// in [d/2, d) for d = min(BackoffBase·2^(k-1), BackoffCap).
+func (g *GroupClient) backoff(attempt int) time.Duration {
+	d := g.cfg.BackoffBase << uint(attempt-1)
+	if d <= 0 || d > g.cfg.BackoffCap {
+		d = g.cfg.BackoffCap
+	}
+	g.jmu.Lock()
+	j := g.jrand.Int63n(int64(d/2) + 1)
+	g.jmu.Unlock()
+	return d/2 + time.Duration(j)
+}
+
+// busNow returns the timestamp domain for bus records: the shared
+// tracer clock when there is one, the process clock otherwise.
+func (g *GroupClient) busNow() sim.Time {
+	if tr := g.cfg.Tracer; tr != nil {
+		return tr.Elapsed()
+	}
+	return sim.Time(time.Since(g.base))
+}
+
+// probeLoop runs endpoint i's heartbeat: stagger, then probe every
+// ProbeInterval, publishing verdict changes.
+func (g *GroupClient) probeLoop(i int) {
+	defer g.probeWG.Done()
+	ep := g.eps[i]
+	epL := telemetry.L("endpoint", ep.addr)
+	// Stagger the probers so a group of clients does not synchronise
+	// its probes against a recovering endpoint.
+	stagger := time.Duration(i) * g.cfg.ProbeInterval / time.Duration(len(g.eps))
+	timer := time.NewTimer(stagger)
+	defer timer.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-timer.C:
+		}
+		alive := g.probe(ep.addr)
+		g.reg.Counter("wire.group.probes", epL, telemetry.L("alive", fmt.Sprintf("%v", alive))).Inc()
+		if wasDown := ep.down.Load(); wasDown == alive {
+			ep.down.Store(!alive)
+			verdict := "down"
+			if alive {
+				verdict = "up"
+			}
+			g.reg.Counter("wire.group.health_transitions", epL, telemetry.L("to", verdict)).Inc()
+			if tr := g.cfg.Tracer; tr != nil {
+				ctx := tr.StartRoot("health."+verdict, trace.String("endpoint", ep.addr))
+				tr.Finish(ctx)
+			}
+			if g.cfg.Bus != nil {
+				g.cfg.Bus.PublishAt(g.busNow(), events.KindHealth, g.name,
+					events.F("endpoint", ep.addr),
+					events.F("to", verdict),
+				)
+			}
+		}
+		timer.Reset(g.cfg.ProbeInterval)
+	}
+}
+
+// probe performs one TCP heartbeat against addr: dial, send a GIOP
+// LocateRequest, require a well-formed GIOP reply within ProbeTimeout.
+// Any parseable answer — LocateReply with either status, even
+// MessageError — proves a live GIOP speaker; silence (a half-open
+// blackhole) or connection failure does not.
+func (g *GroupClient) probe(addr string) bool {
+	var nc net.Conn
+	var err error
+	if g.cfg.Dial != nil {
+		nc, err = g.cfg.Dial(addr)
+	} else {
+		nc, err = net.DialTimeout("tcp", addr, g.cfg.ProbeTimeout)
+	}
+	if err != nil {
+		return false
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(g.cfg.ProbeTimeout))
+	req := &giop.LocateRequest{RequestID: 1, ObjectKey: []byte("ft/heartbeat")}
+	if _, err := nc.Write(req.Marshal(g.order())); err != nil {
+		return false
+	}
+	br := bufio.NewReaderSize(nc, 256)
+	frame, err := giop.ReadFrame(br, giop.DefaultMaxMessage, make([]byte, 0, 256))
+	if err != nil {
+		return false
+	}
+	_, err = giop.Decode(frame)
+	return err == nil
+}
+
+func (g *GroupClient) order() cdr.ByteOrder { return g.cfg.ByteOrder }

@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count when called and registers a
+// cleanup asserting the count has returned to the snapshot once the
+// test (and the cleanups registered after it — client Close, server
+// Shutdown) finish. Connection read loops, lane workers and probe
+// goroutines all wind down asynchronously, so the check polls with a
+// grace period before declaring a leak and dumping all stacks.
+//
+// Call it first in a test (or a fixture like loopback) so its cleanup
+// runs last, after the teardown it is auditing.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after teardown\n%s", before, now, buf[:n])
+	})
+}

@@ -29,6 +29,15 @@ type LoadClass struct {
 	// finding the bound exhausted counts the request as dropped locally
 	// rather than blocking the schedule (default 1024).
 	MaxInFlight int
+	// Idempotent declares the operation safe to re-execute, letting a
+	// GroupClient retry it across endpoints after ambiguous failures.
+	Idempotent bool
+}
+
+// Invoker is the invocation surface the load generator drives: a plain
+// single-endpoint Client or a fault-tolerant GroupClient.
+type Invoker interface {
+	Invoke(key, op string, body []byte, opts CallOptions) ([]byte, error)
 }
 
 // ClassReport is one class's outcome after a load run.
@@ -51,7 +60,7 @@ type ClassReport struct {
 // RunLoad offers every class concurrently against client c for d and
 // reports per-class outcomes. It returns once the offered schedules end
 // and every outstanding call has resolved.
-func RunLoad(c *Client, d time.Duration, classes []LoadClass) []ClassReport {
+func RunLoad(c Invoker, d time.Duration, classes []LoadClass) []ClassReport {
 	reports := make([]ClassReport, len(classes))
 	var wg sync.WaitGroup
 	for i, lc := range classes {
@@ -65,7 +74,7 @@ func RunLoad(c *Client, d time.Duration, classes []LoadClass) []ClassReport {
 	return reports
 }
 
-func runClass(c *Client, d time.Duration, lc LoadClass) ClassReport {
+func runClass(c Invoker, d time.Duration, lc LoadClass) ClassReport {
 	if lc.Key == "" {
 		lc.Key = "app/echo"
 	}
@@ -112,8 +121,9 @@ loop:
 				defer func() { <-sem; calls.Done() }()
 				t0 := time.Now()
 				_, err := c.Invoke(lc.Key, lc.Op, body, CallOptions{
-					Priority: lc.Priority,
-					Timeout:  lc.Timeout,
+					Priority:   lc.Priority,
+					Timeout:    lc.Timeout,
+					Idempotent: lc.Idempotent,
 				})
 				rtt := time.Since(t0)
 				mu.Lock()

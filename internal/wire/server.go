@@ -52,6 +52,11 @@ type Request struct {
 	Peer string
 	// Oneway reports that no reply is expected.
 	Oneway bool
+
+	// ft is the at-most-once dedup key from the FT request context,
+	// valid when hasFT is set (two-way requests only).
+	ft    ftKey
+	hasFT bool
 }
 
 // LaneConfig sizes one priority lane of the server's worker pool,
@@ -90,6 +95,14 @@ type ServerConfig struct {
 	Bus *events.Bus
 	// Name labels telemetry and bus records ("wire.server" default).
 	Name string
+	// FTCacheCap bounds the at-most-once reply cache (default 8192
+	// entries). Requests carrying the GIOP FT request context (0x13) are
+	// deduplicated on their (group, client, retention) triple: a replay
+	// of an executed request — a failover retry, possibly over a fresh
+	// connection after a reconnect — gets the cached reply bytes back
+	// instead of re-invoking the servant, and a replay racing the
+	// original execution waits for its outcome instead of running twice.
+	FTCacheCap int
 }
 
 type laneWork struct {
@@ -120,6 +133,11 @@ type Server struct {
 	servants map[string]Handler
 	conns    map[*serverConn]struct{}
 
+	// ftmu guards the at-most-once reply cache.
+	ftmu      sync.Mutex
+	ftReplies map[ftKey]*ftEntry
+	ftOrder   []ftKey // insertion order, for bounded eviction
+
 	lanes    []*serverLane
 	workers  sync.WaitGroup
 	readers  sync.WaitGroup
@@ -128,6 +146,30 @@ type Server struct {
 	lis      net.Listener
 	draining atomic.Bool
 	closed   atomic.Bool
+}
+
+// ftKey identifies one logical fault-tolerant invocation: every retry
+// of it (same or different connection, same or different GIOP request
+// ID) carries the identical triple in its 0x13 service context.
+type ftKey struct {
+	group, client uint64
+	retention     uint32
+}
+
+// ftWaiter is a replayed request that arrived while the original was
+// still executing; it is answered when the execution completes.
+type ftWaiter struct {
+	conn *serverConn
+	id   uint32
+}
+
+// ftEntry is one logical invocation's dedup record: in flight until
+// done, then the cached reply (status + body bytes, replayed verbatim).
+type ftEntry struct {
+	done    bool
+	status  giop.ReplyStatus
+	body    []byte
+	waiters []ftWaiter
 }
 
 type serverConn struct {
@@ -149,13 +191,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.Lanes = []LaneConfig{{Priority: 0, Workers: runtime.GOMAXPROCS(0), QueueLimit: 1024}}
 	}
 	s := &Server{
-		cfg:      cfg,
-		reg:      cfg.Registry,
-		order:    cfg.ByteOrder,
-		maxMsg:   cfg.MaxMessage,
-		name:     cfg.Name,
-		servants: make(map[string]Handler),
-		conns:    make(map[*serverConn]struct{}),
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		order:     cfg.ByteOrder,
+		maxMsg:    cfg.MaxMessage,
+		name:      cfg.Name,
+		servants:  make(map[string]Handler),
+		conns:     make(map[*serverConn]struct{}),
+		ftReplies: make(map[ftKey]*ftEntry),
+	}
+	if s.cfg.FTCacheCap <= 0 {
+		s.cfg.FTCacheCap = 8192
 	}
 	if s.reg == nil {
 		s.reg = telemetry.NewRegistry()
@@ -370,10 +416,23 @@ func (s *Server) handleRequest(c *serverConn, m *giop.Request) {
 			req.TraceCtx = trace.SpanContext{Trace: trace.TraceID(tid), Span: trace.SpanID(sid)}
 		}
 	}
+	if m.ResponseExpected {
+		if data, ok := giop.FindContext(m.ServiceContexts, giop.ServiceFTRequest); ok {
+			if g, cl, r, err := giop.ParseFTRequestContext(data); err == nil {
+				req.ft, req.hasFT = ftKey{group: g, client: cl, retention: r}, true
+			}
+		}
+	}
 
 	lane := s.laneFor(req.Priority)
 	laneL := telemetry.L("lane", lane.label)
 	s.reg.Counter("wire.server.requests", laneL).Inc()
+	if req.hasFT && s.ftAdmit(c, req.ft, m.RequestID) {
+		// A duplicate of an executed (or executing) invocation: answered
+		// from the cache or parked as a waiter — the servant never runs
+		// a second time.
+		return
+	}
 	if s.draining.Load() {
 		s.refuse(c, req, m.RequestID, lane, "draining")
 		return
@@ -387,16 +446,118 @@ func (s *Server) handleRequest(c *serverConn, m *giop.Request) {
 	}
 }
 
+// ftAdmit gates a fault-tolerant request on the dedup cache. It returns
+// true when the request is a duplicate and has been fully handled here:
+// answered with the cached reply if the original execution finished, or
+// parked as a waiter on the in-flight execution otherwise. It returns
+// false — after registering the invocation as in flight — when this is
+// the first sighting and the request must proceed to a lane.
+func (s *Server) ftAdmit(c *serverConn, k ftKey, reqID uint32) bool {
+	s.ftmu.Lock()
+	e, ok := s.ftReplies[k]
+	if !ok {
+		s.ftReplies[k] = &ftEntry{}
+		s.ftOrder = append(s.ftOrder, k)
+		s.ftEvictLocked()
+		s.ftmu.Unlock()
+		return false
+	}
+	if !e.done {
+		e.waiters = append(e.waiters, ftWaiter{conn: c, id: reqID})
+		s.ftmu.Unlock()
+		s.reg.Counter("wire.server.ft_waiters").Inc()
+		return true
+	}
+	status, body := e.status, e.body
+	s.ftmu.Unlock()
+	s.reg.Counter("wire.server.ft_replays").Inc()
+	c.write(&giop.Reply{RequestID: reqID, Status: status, Body: body})
+	return true
+}
+
+// ftComplete publishes an execution outcome: the reply is cached for
+// future replays and every parked waiter is answered with it.
+func (s *Server) ftComplete(k ftKey, status giop.ReplyStatus, body []byte) {
+	s.ftmu.Lock()
+	e, ok := s.ftReplies[k]
+	if !ok {
+		s.ftmu.Unlock()
+		return
+	}
+	e.done, e.status, e.body = true, status, body
+	waiters := e.waiters
+	e.waiters = nil
+	s.ftmu.Unlock()
+	for _, w := range waiters {
+		w.conn.write(&giop.Reply{RequestID: w.id, Status: status, Body: body})
+	}
+}
+
+// ftAbort clears an in-flight entry whose request never executed (it
+// was refused, shed, or cancelled before reaching a servant), so a
+// retry is allowed to execute. Waiters are answered with the given
+// refusal reply rather than left hanging; a nil body answers them with
+// retryable TRANSIENT.
+func (s *Server) ftAbort(k ftKey, status giop.ReplyStatus, body []byte) {
+	s.ftmu.Lock()
+	e, ok := s.ftReplies[k]
+	if !ok {
+		s.ftmu.Unlock()
+		return
+	}
+	delete(s.ftReplies, k)
+	for i, ord := range s.ftOrder {
+		if ord == k {
+			s.ftOrder = append(s.ftOrder[:i], s.ftOrder[i+1:]...)
+			break
+		}
+	}
+	waiters := e.waiters
+	s.ftmu.Unlock()
+	if body == nil {
+		status = giop.StatusSystemException
+		body = encodeException(excTransient, 1, s.order)
+	}
+	for _, w := range waiters {
+		w.conn.write(&giop.Reply{RequestID: w.id, Status: status, Body: body})
+	}
+}
+
+// ftEvictLocked bounds the cache: oldest completed entries go first;
+// in-flight entries are never evicted (their waiters must be answered).
+func (s *Server) ftEvictLocked() {
+	for len(s.ftReplies) > s.cfg.FTCacheCap {
+		evicted := false
+		for i, k := range s.ftOrder {
+			if e, ok := s.ftReplies[k]; ok && e.done {
+				delete(s.ftReplies, k)
+				s.ftOrder = append(s.ftOrder[:i], s.ftOrder[i+1:]...)
+				s.reg.Counter("wire.server.ft_evicted").Inc()
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live is in flight; let it complete
+		}
+	}
+}
+
 // refuse sheds an arriving request with TRANSIENT minor 2 — the same
 // bytes the simulated ORB's lanes emit for an admission refusal.
 func (s *Server) refuse(c *serverConn, req *Request, id uint32, lane *serverLane, why string) {
 	s.reg.Counter("wire.server.refused", telemetry.L("lane", lane.label), telemetry.L("reason", why)).Inc()
 	s.publishShed(req, lane, why)
+	body := encodeException(excTransient, 2, s.order)
+	if req.hasFT {
+		// The request never executed; a retry must be allowed to.
+		s.ftAbort(req.ft, giop.StatusSystemException, body)
+	}
 	if !req.Oneway {
 		c.write(&giop.Reply{
 			RequestID: id,
 			Status:    giop.StatusSystemException,
-			Body:      encodeException(excTransient, 2, s.order),
+			Body:      body,
 		})
 	}
 }
@@ -412,11 +573,17 @@ func (s *Server) shed(w laneWork, lane *serverLane) {
 			trace.String("op", w.req.Operation), trace.String("reason", "deadline"))
 		tr.Finish(ctx)
 	}
+	body := encodeException(excTimeout, 1, s.order)
+	if w.req.hasFT {
+		// Shed before execution: clear the in-flight entry so a retry
+		// with more deadline headroom can still run.
+		s.ftAbort(w.req.ft, giop.StatusSystemException, body)
+	}
 	if !w.req.Oneway {
 		w.conn.write(&giop.Reply{
 			RequestID: w.id,
 			Status:    giop.StatusSystemException,
-			Body:      encodeException(excTimeout, 1, s.order),
+			Body:      body,
 		})
 	}
 }
@@ -447,6 +614,11 @@ func (s *Server) worker(lane *serverLane) {
 		queueH.Observe(float64(now.Sub(w.enqueued)) / float64(time.Millisecond))
 		if _, cancelled := w.conn.cancelled.LoadAndDelete(w.id); cancelled {
 			s.reg.Counter("wire.server.cancelled", laneL).Inc()
+			if w.req.hasFT {
+				// Never executed; release the dedup entry (waiters from
+				// other connections get a retryable TRANSIENT).
+				s.ftAbort(w.req.ft, 0, nil)
+			}
 			s.inflight.Done()
 			continue
 		}
@@ -508,6 +680,12 @@ func (s *Server) dispatch(w laneWork, lane *serverLane, execH *telemetry.Histogr
 	default:
 		rep.Status = giop.StatusSystemException
 		rep.Body = encodeException(excUnknown, 1, s.order)
+	}
+	if w.req.hasFT {
+		// The servant ran (or the key resolution failed deterministically);
+		// cache the outcome so replays return these exact bytes and flush
+		// any replay that raced the execution.
+		s.ftComplete(w.req.ft, rep.Status, rep.Body)
 	}
 	w.conn.write(rep)
 }

@@ -1,0 +1,79 @@
+package wire_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestChaosSoakInvariants is the wire plane's robustness acceptance
+// test: a seeded soak drives >=10k mixed EF/BE logical requests through
+// the canonical chaos topology (BE prefers a latency-tortured,
+// kill/restarted primary; EF prefers the clean replica) and asserts the
+// four hard invariants:
+//
+//  1. at-most-once: no logical request executes on a servant twice,
+//     across retries, reconnects and failover;
+//  2. no silence: every issued request completes with a reply or a
+//     classified refusal/timeout — none is lost or unclassifiable;
+//  3. bounded recovery: killing the BE primary under load never opens
+//     a BE success gap wider than the documented failover budget, and
+//     the health prober re-detects the restored primary promptly;
+//  4. EF isolation: expedited p99 stays within 5x its no-fault
+//     baseline while the BE-only path is being tortured.
+func TestChaosSoakInvariants(t *testing.T) {
+	requests := 10000
+	if testing.Short() {
+		requests = 1500
+	}
+	rep, err := chaos.RunSoak(chaos.SoakConfig{
+		Seed:     7,
+		Requests: requests,
+		Log:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("RunSoak: %v", err)
+	}
+
+	if rep.Duplicates != 0 {
+		t.Errorf("invariant 1 (at-most-once): %d logical requests executed more than once", rep.Duplicates)
+	}
+	if rep.Lost != 0 {
+		t.Errorf("invariant 2 (no silence): %d requests never completed", rep.Lost)
+	}
+	if rep.Unclassified != 0 {
+		t.Errorf("invariant 2 (no silence): %d completions outside the error taxonomy", rep.Unclassified)
+	}
+	// The service-level recovery bound: one kill window (400ms) plus
+	// the failover budget documented in DESIGN.md section 14.
+	if rep.ServiceGapMs >= 2000 {
+		t.Errorf("invariant 3 (bounded recovery): BE success gap %.0fms >= 2000ms", rep.ServiceGapMs)
+	}
+	if rep.RedetectMs < 0 {
+		t.Error("invariant 3 (bounded recovery): restored primary never re-detected")
+	} else if rep.RedetectMs >= 2000 {
+		t.Errorf("invariant 3 (bounded recovery): re-detection took %.0fms >= 2000ms", rep.RedetectMs)
+	}
+	// EF isolation, with a 2ms floor so a sub-millisecond loopback
+	// baseline does not make the 5x ratio degenerate.
+	floor := 2.0
+	baseline := rep.EFBaselineP99Ms
+	if baseline < floor {
+		baseline = floor
+	}
+	if rep.EFFaultP99Ms > 5*baseline {
+		t.Errorf("invariant 4 (EF isolation): EF p99 under fault %.2fms > 5x baseline %.2fms",
+			rep.EFFaultP99Ms, baseline)
+	}
+
+	if oks := rep.Outcomes["ok"]; oks < rep.Requests/2 {
+		t.Errorf("soak degenerate: only %d/%d requests succeeded", oks, rep.Requests)
+	}
+	if rep.WallMs > float64(5*time.Minute/time.Millisecond) {
+		t.Errorf("soak took %.0fms, runaway", rep.WallMs)
+	}
+	t.Logf("soak: outcomes=%v failovers=%d (p99 %.1fms) budget spent=%d denied=%d ef p99 %.2f->%.2fms",
+		rep.Outcomes, rep.Failovers, rep.FailoverP99Ms,
+		rep.RetryBudgetSpent, rep.RetryBudgetDenied, rep.EFBaselineP99Ms, rep.EFFaultP99Ms)
+}

@@ -65,6 +65,18 @@ var (
 	ErrProtocol = errors.New("wire: GIOP protocol error")
 	// ErrShutdown means the client or server was already shut down.
 	ErrShutdown = errors.New("wire: shut down")
+	// ErrClientClosed means Client.Close ran: calls in flight at that
+	// instant fail with it, and later invocations are refused with it.
+	// It wraps ErrShutdown, so errors.Is(err, ErrShutdown) still holds,
+	// but callers (the failover layer in particular) can tell a local
+	// deliberate teardown from an endpoint failure.
+	ErrClientClosed = fmt.Errorf("%w: client closed", ErrShutdown)
+	// ErrDial means connection establishment itself failed. It wraps
+	// ErrUnavailable; the distinction matters for at-most-once safety:
+	// a dial failure proves no request bytes ever reached the endpoint,
+	// so even a non-idempotent call may be retried elsewhere, while a
+	// bare ErrUnavailable (connection died mid-call) is ambiguous.
+	ErrDial = fmt.Errorf("%w: dial failed", ErrUnavailable)
 )
 
 // CORBA system exception repository IDs shared with the simulated ORB's
@@ -173,9 +185,16 @@ func (t *Tracer) Elapsed() sim.Time { return sim.Time(time.Since(t.base)) }
 
 // StartRoot begins a root span and returns its portable context.
 func (t *Tracer) StartRoot(name string, attrs ...trace.Attr) trace.SpanContext {
+	return t.StartRootLayer(trace.LayerWire, name, attrs...)
+}
+
+// StartRootLayer begins a root span in an explicit layer — the chaos
+// proxy uses it for layer "chaos" fault-window spans that line up with
+// the wire plane's failover spans on the same wall clock.
+func (t *Tracer) StartRootLayer(layer, name string, attrs ...trace.Attr) trace.SpanContext {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := t.tr.StartRoot(name, trace.LayerWire)
+	s := t.tr.StartRoot(name, layer)
 	s.SetAttr(attrs...)
 	return s.Context()
 }

@@ -18,6 +18,7 @@ import (
 // request/reply path runs without sockets.
 func loopback(t *testing.T, scfg ServerConfig, ccfg ClientConfig) (*Server, *Client) {
 	t.Helper()
+	leakCheck(t)
 	srv, err := NewServer(scfg)
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
