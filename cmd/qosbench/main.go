@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qosbench [-run all|fig2|fig4|fig5|fig6|fig7|table1|table2|overload|slo|ablations|wire|chaos|verify]
+//	qosbench [-run all|fig2|fig4|fig5|fig6|fig7|table1|table2|overload|slo|ablations|wire|chaos|obs|verify]
 //	         [-seed N] [-duration D] [-requests N] [-series]
 //
 // -duration scales the measured portion of each experiment; the default
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, wire, chaos, verify (wire, chaos and verify are explicit-only)")
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, wire, chaos, obs, verify (wire, chaos, obs and verify are explicit-only)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	requests := flag.Int("requests", 0, "chaos soak request count (0 = default 10000)")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = paper scale)")
@@ -173,6 +173,20 @@ func main() {
 		}
 		ran++
 	}
+	// "obs" is explicit-only: it prices the wall-clock observability
+	// plane by running the wire load with the full observer stack
+	// (sampler + rules + runtime collector + SLO tracker + profiler +
+	// live scraper) against an observers-off baseline.
+	if *run == "obs" {
+		res, err := wire.RunObsBench(wire.ObsBenchOptions{Duration: *duration})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		emit("obs", obsStats(res))
+		ran++
+	}
 	if *run == "verify" {
 		checks := experiments.Verify(opt)
 		fmt.Println(experiments.RenderChecks(checks))
@@ -233,6 +247,13 @@ type benchStat struct {
 	RetryBudgetDenied int64   `json:"retry_budget_denied,omitempty"`
 	ServiceGapMs      float64 `json:"service_gap_ms,omitempty"`
 	RedetectMs        float64 `json:"redetect_ms,omitempty"`
+	// Observability-scenario fields: the EF p99 cost of the full
+	// observer stack relative to the observers-off baseline, and the
+	// observer-activity counts proving the stack was actually running.
+	OverheadRatio   float64 `json:"overhead_ratio,omitempty"`
+	SamplerTicks    int     `json:"sampler_ticks,omitempty"`
+	ProfileCaptures float64 `json:"profile_captures,omitempty"`
+	EventsStreamed  int     `json:"events_streamed,omitempty"`
 }
 
 type benchFile struct {
@@ -338,6 +359,33 @@ func chaosStats(r *chaos.SoakReport) []benchStat {
 			ServiceGapMs:      r.ServiceGapMs,
 			RedetectMs:        r.RedetectMs,
 		},
+	}
+}
+
+// obsStats reports the observer-overhead benchmark: EF percentiles
+// with observers off and on (the overhead entry carries the ratio and
+// the observer-activity evidence), plus both BE entries for context.
+func obsStats(r *wire.ObsBenchResult) []benchStat {
+	class := func(scenario string, c wire.ClassReport) benchStat {
+		return benchStat{
+			Scenario:   scenario,
+			Samples:    int(c.OK),
+			P50Ms:      c.Latency.P50,
+			P95Ms:      c.Latency.P95,
+			P99Ms:      c.Latency.P99,
+			Throughput: c.Throughput,
+		}
+	}
+	off := class("obs EF observers off", r.OffEF)
+	on := class("obs EF observers on (sampler+runtime+slo+profiler+scraper)", r.OnEF)
+	on.OverheadRatio = r.OverheadP99
+	on.SamplerTicks = r.SamplerTicks
+	on.ProfileCaptures = r.ProfileCaptures
+	on.EventsStreamed = r.EventsStreamed
+	return []benchStat{
+		off, on,
+		class("obs BE observers off", r.OffBE),
+		class("obs BE observers on", r.OnBE),
 	}
 }
 

@@ -31,6 +31,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/events"
+	"repro/internal/monitor"
+	"repro/internal/trace/telemetry"
 	"repro/internal/wire"
 )
 
@@ -45,7 +48,18 @@ func main() {
 	beTimeout := flag.Duration("be-timeout", 5*time.Second, "BE per-call RELATIVE_RT_TIMEOUT")
 	connsPerBand := flag.Int("conns", 1, "connections per priority band")
 	failover := flag.Bool("failover", false, "treat -addr as a comma-separated endpoint set (primary first) and drive it through the fault-tolerant group client")
+	metricsAddr := flag.String("metrics", "", "serve the client-side registry (/metrics, /debug/qos, /events) on this address during the run (empty = off)")
 	flag.Parse()
+
+	// With -metrics, the client side gets its own observability plane:
+	// banded-pool occupancy, RTT histograms and retry-budget level over
+	// the same exposition/introspection endpoints qosserve serves.
+	reg := telemetry.NewRegistry()
+	var bus *events.Bus
+	ix := monitor.NewIntrospector()
+	if *metricsAddr != "" {
+		bus = events.NewWallBus(nil)
+	}
 
 	var cli wire.Invoker
 	if *failover {
@@ -54,6 +68,8 @@ func main() {
 			Endpoints:    endpoints,
 			Bands:        []int16{0, wire.EFPriority},
 			ConnsPerBand: *connsPerBand,
+			Registry:     reg,
+			Bus:          bus,
 			Name:         "qoscall.group",
 		})
 		if err != nil {
@@ -66,11 +82,14 @@ func main() {
 			g.Close()
 		}()
 		cli = g
+		ix.Add("group", func() any { return g.Snapshot() })
 	} else {
 		c, err := wire.NewClient(wire.ClientConfig{
 			Addr:         *addr,
 			Bands:        []int16{0, wire.EFPriority},
 			ConnsPerBand: *connsPerBand,
+			Registry:     reg,
+			Bus:          bus,
 			Name:         "qoscall",
 		})
 		if err != nil {
@@ -79,6 +98,29 @@ func main() {
 		}
 		defer c.Close()
 		cli = c
+		ix.Add("client", func() any { return c.Snapshot() })
+	}
+
+	if *metricsAddr != "" {
+		sampler := monitor.NewWallSampler(reg, bus, time.Second, nil)
+		sampler.AddCollector(monitor.NewRuntimeCollector(reg).Collect)
+		if *failover {
+			// Mirror the retry-budget level into a gauge each window so
+			// it shows up on /metrics alongside the snapshot JSON.
+			g := cli.(*wire.GroupClient)
+			budgetG := reg.Gauge("wire.group.retry_budget_tokens")
+			sampler.AddCollector(func() { budgetG.Set(g.Budget().Tokens()) })
+		}
+		sampler.Start()
+		defer sampler.Stop()
+		maddr, stop, err := monitor.StartHTTP(*metricsAddr, reg,
+			monitor.WithIntrospect(ix), monitor.WithEvents(bus))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoscall: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("qoscall: client metrics on http://%s/metrics (introspection /debug/qos, events /events)\n", maddr)
 	}
 
 	var classes []wire.LoadClass

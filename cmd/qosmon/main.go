@@ -14,18 +14,31 @@
 // Usage:
 //
 //	qosmon [-seed N] [-dur D] [-prom] [-http ADDR]
+//	qosmon -attach ADDR [-follow D]
 //
 // -prom appends the full Prometheus text exposition of the telemetry
 // registry; -http serves it (plus /debug/pprof) after the run. Output
 // is deterministic: repeated runs with the same flags are
 // byte-identical.
+//
+// -attach switches qosmon from simulation to live mode: it connects to
+// a running process's observability endpoint (qosserve -metrics or
+// qoscall -metrics), dumps the current /debug/qos introspection
+// snapshot and the Go runtime gauges from /metrics, then follows the
+// /events NDJSON stream for -follow, rendering each record as a
+// timeline line.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/events"
@@ -99,13 +112,100 @@ func run(opt options) (string, *telemetry.Registry) {
 	return out, r.Reg
 }
 
+// attach renders a live dashboard from a running process's
+// observability endpoint: the /debug/qos snapshot, the Go runtime
+// gauges, and the /events stream followed for the given duration.
+func attach(w io.Writer, addr string, follow time.Duration) error {
+	base := "http://" + addr
+	fmt.Fprintf(w, "qosmon: attached to %s\n\n", addr)
+
+	resp, err := http.Get(base + "/debug/qos")
+	if err != nil {
+		return fmt.Errorf("GET /debug/qos: %w", err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("read /debug/qos: %w", err)
+	}
+	fmt.Fprintf(w, "live QoS state (/debug/qos):\n%s\n", strings.TrimRight(string(snap), "\n"))
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	var goLines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "go_") {
+			goLines = append(goLines, line)
+		}
+	}
+	resp.Body.Close()
+	sort.Strings(goLines)
+	fmt.Fprintf(w, "\nGo runtime (/metrics, go_*):\n")
+	for _, l := range goLines {
+		fmt.Fprintf(w, "  %s\n", l)
+	}
+
+	if follow <= 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\nevent stream (/events, following for %v):\n", follow)
+	cli := &http.Client{Timeout: 0}
+	req, err := http.NewRequest(http.MethodGet, base+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err = cli.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET /events: %w", err)
+	}
+	defer resp.Body.Close()
+	deadline := time.AfterFunc(follow, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	seen := 0
+	sc = bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec monitor.RecordJSON
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		fields := make([]string, 0, len(rec.Fields))
+		for k, v := range rec.Fields {
+			fields = append(fields, k+"="+v)
+		}
+		sort.Strings(fields)
+		ts := rec.Wall
+		if t, terr := time.Parse(time.RFC3339Nano, rec.Wall); terr == nil {
+			ts = t.Local().Format("15:04:05.000")
+		}
+		fmt.Fprintf(w, "  %s  %-9s %-12s %s\n", ts, rec.Kind, rec.Source, strings.Join(fields, " "))
+		seen++
+	}
+	fmt.Fprintf(w, "qosmon: %d event(s) in %v\n", seen, follow)
+	return nil
+}
+
 func main() {
 	opt := options{}
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address after the run")
+	attachAddr := flag.String("attach", "", "attach to a live observability endpoint (host:port) instead of simulating")
+	follow := flag.Duration("follow", 5*time.Second, "how long -attach follows the /events stream (0 = snapshot only)")
 	flag.Int64Var(&opt.seed, "seed", 42, "simulation seed")
 	flag.DurationVar(&opt.dur, "dur", 0, "virtual duration (0 = default 12s; flood in the middle third)")
 	flag.BoolVar(&opt.prom, "prom", false, "append the Prometheus text exposition of the registry")
 	flag.Parse()
+
+	if *attachAddr != "" {
+		if err := attach(os.Stdout, *attachAddr, *follow); err != nil {
+			fmt.Fprintln(os.Stderr, "qosmon:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	out, reg := run(opt)
 	fmt.Print(out)

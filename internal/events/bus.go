@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -56,6 +57,10 @@ const (
 	// KindHealth is an endpoint health-probe verdict changing (a group
 	// client marking an endpoint down or back up).
 	KindHealth Kind = "health"
+	// KindProfile is a pprof capture completing (periodic or triggered
+	// by an alert/burn record); fields carry the on-disk profile path
+	// and, for triggered captures, the firing record that caused it.
+	KindProfile Kind = "profile"
 )
 
 // Field is one ordered key/value annotation on a record.
@@ -71,8 +76,14 @@ type Record struct {
 	// Seq is the bus-assigned publication sequence number, strictly
 	// increasing across all kinds.
 	Seq uint64
-	// At is the virtual time of the occurrence.
+	// At is the virtual time of the occurrence — kernel time on a
+	// simulation bus, elapsed-since-process-start on a wall bus (the
+	// same domain wire tracer spans use).
 	At sim.Time
+	// Wall is the absolute wall-clock occurrence time. It is stamped
+	// only by buses constructed with NewWallBus; simulation records
+	// leave it zero and keep rendering in virtual time.
+	Wall time.Time
 	// Kind classifies the record.
 	Kind Kind
 	// Source names the emitting component (an ORB, a pool, a contract).
@@ -81,10 +92,17 @@ type Record struct {
 	Fields []Field
 }
 
-// String renders the record as one deterministic line.
+// String renders the record as one deterministic line. Simulation
+// records render their virtual timestamp; live records (non-zero Wall)
+// render the wall-clock time instead, so `/events` output from a real
+// process reads in human time.
 func (r Record) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%12v  %-9s %-20s", r.At, r.Kind, r.Source)
+	if !r.Wall.IsZero() {
+		fmt.Fprintf(&b, "%s  %-9s %-20s", r.Wall.Format("15:04:05.000"), r.Kind, r.Source)
+	} else {
+		fmt.Fprintf(&b, "%12v  %-9s %-20s", r.At, r.Kind, r.Source)
+	}
 	for _, f := range r.Fields {
 		fmt.Fprintf(&b, " %s=%s", f.K, f.V)
 	}
@@ -108,14 +126,29 @@ func (s *BusSub) Cancel() { s.cancelled.Store(true) }
 // simulation all publishes come from the kernel goroutine and are
 // therefore deterministically ordered.
 type Bus struct {
-	k   *sim.Kernel
-	mu  sync.Mutex
-	seq uint64
-	sub []*BusSub
+	k    *sim.Kernel
+	wall func() time.Time // non-nil on wall buses: stamps Record.Wall
+	now  func() sim.Time  // non-nil on wall buses: elapsed clock for Publish
+	mu   sync.Mutex
+	seq  uint64
+	sub  []*BusSub
 }
 
 // NewBus creates a bus stamping records with k's virtual clock.
 func NewBus(k *sim.Kernel) *Bus { return &Bus{k: k} }
+
+// NewWallBus creates a bus for live (non-simulated) processes. Publish
+// stamps records with elapsed() in the At domain — pass the wire
+// tracer's Elapsed so bus records and spans share a time base, or nil
+// to anchor at the bus's creation — and every record (including those
+// via PublishAt) additionally carries the absolute wall-clock time.
+func NewWallBus(elapsed func() sim.Time) *Bus {
+	if elapsed == nil {
+		start := time.Now()
+		elapsed = func() sim.Time { return sim.Time(time.Since(start)) }
+	}
+	return &Bus{now: elapsed, wall: time.Now}
+}
 
 // Subscribe registers fn for the given kinds (none = every kind).
 // Subscribers are invoked synchronously at publish time, in
@@ -135,18 +168,27 @@ func (b *Bus) Subscribe(fn func(Record), kinds ...Kind) *BusSub {
 	return s
 }
 
-// Publish stamps a record with the current virtual time and delivers it.
+// Publish stamps a record with the bus clock (virtual time on a
+// simulation bus, elapsed time on a wall bus) and delivers it.
 func (b *Bus) Publish(kind Kind, source string, fields ...Field) Record {
+	if b.now != nil {
+		return b.PublishAt(b.now(), kind, source, fields...)
+	}
 	return b.PublishAt(b.k.Now(), kind, source, fields...)
 }
 
 // PublishAt delivers a record carrying an explicit timestamp, for
 // sources that know their occurrence time (or callers off the kernel
-// goroutine, where reading the kernel clock would race).
+// goroutine, where reading the kernel clock would race). On a wall
+// bus the record additionally gets an absolute wall-clock stamp.
 func (b *Bus) PublishAt(at sim.Time, kind Kind, source string, fields ...Field) Record {
+	var wall time.Time
+	if b.wall != nil {
+		wall = b.wall()
+	}
 	b.mu.Lock()
 	b.seq++
-	r := Record{Seq: b.seq, At: at, Kind: kind, Source: source, Fields: fields}
+	r := Record{Seq: b.seq, At: at, Wall: wall, Kind: kind, Source: source, Fields: fields}
 	subs := make([]*BusSub, len(b.sub))
 	copy(subs, b.sub)
 	b.mu.Unlock()

@@ -1,0 +1,72 @@
+package events
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestWallBusStampsRecords pins the wall-clock bus: records carry both
+// the injected elapsed clock (At) and a real wall timestamp (Wall), and
+// rendering uses the wall timestamp.
+func TestWallBusStampsRecords(t *testing.T) {
+	elapsed := sim.Time(3 * time.Second)
+	b := NewWallBus(func() sim.Time { return elapsed })
+	tl := NewTimeline(b)
+
+	before := time.Now()
+	b.Publish(KindAlert, "rule/hot", F("state", "firing"))
+	after := time.Now()
+
+	recs := tl.Records()
+	if len(recs) != 1 {
+		t.Fatalf("timeline has %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.At != elapsed {
+		t.Fatalf("record At = %v, want injected elapsed %v", r.At, elapsed)
+	}
+	if r.Wall.Before(before) || r.Wall.After(after) {
+		t.Fatalf("record Wall = %v, want within [%v, %v]", r.Wall, before, after)
+	}
+	want := r.Wall.Format("15:04:05.000")
+	if s := r.String(); !strings.Contains(s, want) {
+		t.Fatalf("wall record renders %q, want wall timestamp %q", s, want)
+	}
+}
+
+// TestWallBusDefaultClock pins the nil-elapsed convenience: the bus
+// anchors its own relative clock at creation.
+func TestWallBusDefaultClock(t *testing.T) {
+	b := NewWallBus(nil)
+	var got Record
+	b.Subscribe(func(r Record) { got = r })
+	time.Sleep(5 * time.Millisecond)
+	b.Publish(KindSample, "sampler")
+	if got.At < sim.Time(5*time.Millisecond) || got.At > sim.Time(5*time.Second) {
+		t.Fatalf("self-anchored At = %v, want a few ms", got.At)
+	}
+	if got.Wall.IsZero() {
+		t.Fatal("wall bus record missing Wall timestamp")
+	}
+}
+
+// TestSimRecordRenderUnchanged pins that sim-bus records (zero Wall)
+// keep the virtual-time rendering, so seeded dashboards stay
+// byte-identical.
+func TestSimRecordRenderUnchanged(t *testing.T) {
+	k := sim.NewKernel(1)
+	b := NewBus(k)
+	var got Record
+	b.Subscribe(func(r Record) { got = r })
+	k.At(1500*time.Millisecond, func() { b.Publish(KindShed, "pool", F("lane", "0")) })
+	k.Run()
+	if !got.Wall.IsZero() {
+		t.Fatal("sim bus record unexpectedly carries a wall timestamp")
+	}
+	if s := got.String(); !strings.HasPrefix(s, "        1.5s") {
+		t.Fatalf("sim record rendering changed: %q", s)
+	}
+}

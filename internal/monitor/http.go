@@ -10,22 +10,33 @@ import (
 
 // StartHTTP binds a TCP listener on addr (host:port; port 0 picks a
 // free one) and serves the monitoring mux — /metrics in the Prometheus
-// exposition format plus the explicit /debug/pprof handlers — for reg
+// exposition format plus the explicit /debug/pprof handlers, and any
+// optional live-introspection routes (/debug/qos, /events) — for reg
 // on it. It returns the bound address (so callers that asked for port 0
 // can print the real endpoint) and a stop function that closes the
-// server, ignoring in-flight scrapes beyond a short grace.
+// server and waits for the serve goroutine to exit, so stopping leaks
+// nothing.
 //
 // This is the live-process counterpart of Handler/NewMux: qosserve and
 // the wire benchmarks call it so a real scrape or a pprof profile can
 // watch an actual running process, where the simulation CLIs only
 // render the exposition text.
-func StartHTTP(addr string, reg *telemetry.Registry) (string, func(), error) {
+func StartHTTP(addr string, reg *telemetry.Registry, opts ...MuxOption) (string, func(), error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(lis) }()
-	stop := func() { _ = srv.Close() }
+	srv := &http.Server{Handler: NewMux(reg, opts...), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis)
+	}()
+	stop := func() {
+		// Close shuts the listener and every active connection; streaming
+		// handlers observe their request context cancel and return.
+		_ = srv.Close()
+		<-done
+	}
 	return lis.Addr().String(), stop, nil
 }

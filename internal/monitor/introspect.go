@@ -1,0 +1,154 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/sim"
+)
+
+// This file is the live QoS introspection surface: /debug/qos renders a
+// JSON snapshot of every registered component's current state (lane
+// depths, breaker states, pool occupancy, retry-budget level, SLO
+// burns), and /events streams bus records as NDJSON — the two endpoints
+// qosmon -attach polls to render a live dashboard against a real
+// process instead of a finished simulation.
+
+// Introspector assembles the /debug/qos snapshot from named sources.
+// Sources are functions returning any JSON-marshalable value; they are
+// invoked per request, so the snapshot is always current.
+type Introspector struct {
+	mu      sync.Mutex
+	names   []string
+	sources map[string]func() any
+}
+
+// NewIntrospector creates an empty introspector.
+func NewIntrospector() *Introspector {
+	return &Introspector{sources: make(map[string]func() any)}
+}
+
+// Add registers a named snapshot source (replacing any previous source
+// of the same name).
+func (ix *Introspector) Add(name string, fn func() any) *Introspector {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.sources[name]; !ok {
+		ix.names = append(ix.names, name)
+	}
+	ix.sources[name] = fn
+	return ix
+}
+
+// Snapshot invokes every source and returns the combined state.
+func (ix *Introspector) Snapshot() map[string]any {
+	ix.mu.Lock()
+	names := append([]string(nil), ix.names...)
+	fns := make([]func() any, len(names))
+	for i, n := range names {
+		fns[i] = ix.sources[n]
+	}
+	ix.mu.Unlock()
+	out := make(map[string]any, len(names))
+	for i, n := range names {
+		out[n] = fns[i]()
+	}
+	return out
+}
+
+// Handler serves the snapshot as indented JSON.
+func (ix *Introspector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ix.Snapshot())
+	})
+}
+
+// RecordJSON is the wire form of one bus record on the /events stream.
+type RecordJSON struct {
+	Seq    uint64            `json:"seq"`
+	AtMs   float64           `json:"at_ms"`
+	Wall   string            `json:"wall,omitempty"` // RFC3339Nano; empty for sim records
+	Kind   string            `json:"kind"`
+	Source string            `json:"source"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// ToRecordJSON converts a bus record for NDJSON streaming.
+func ToRecordJSON(r events.Record) RecordJSON {
+	out := RecordJSON{
+		Seq:    r.Seq,
+		AtMs:   float64(r.At) / float64(sim.Time(time.Millisecond)),
+		Kind:   string(r.Kind),
+		Source: r.Source,
+	}
+	if !r.Wall.IsZero() {
+		out.Wall = r.Wall.Format(time.RFC3339Nano)
+	}
+	if len(r.Fields) > 0 {
+		out.Fields = make(map[string]string, len(r.Fields))
+		for _, f := range r.Fields {
+			out.Fields[f.K] = f.V
+		}
+	}
+	return out
+}
+
+// eventStreamBuffer is the per-subscriber queue depth on /events; when
+// a slow reader falls this far behind, records are dropped rather than
+// ever blocking bus publishers.
+const eventStreamBuffer = 256
+
+// EventsHandler streams live bus records as NDJSON, one JSON object per
+// line, flushed per record. An optional ?kinds=alert,shed query
+// restricts the stream. The stream runs until the client disconnects or
+// the server shuts down.
+func EventsHandler(bus *events.Bus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var kinds []events.Kind
+		if q := r.URL.Query().Get("kinds"); q != "" {
+			for _, k := range strings.Split(q, ",") {
+				if k = strings.TrimSpace(k); k != "" {
+					kinds = append(kinds, events.Kind(k))
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if flusher != nil {
+			flusher.Flush()
+		}
+
+		ch := make(chan events.Record, eventStreamBuffer)
+		sub := bus.Subscribe(func(rec events.Record) {
+			select {
+			case ch <- rec:
+			default: // slow consumer: drop, never block publishers
+			}
+		}, kinds...)
+		defer sub.Cancel()
+
+		enc := json.NewEncoder(w)
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case rec := <-ch:
+				if err := enc.Encode(ToRecordJSON(rec)); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,341 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/trace/telemetry"
+)
+
+// ErrProfileBusy is returned when a CPU capture is requested while one
+// is already running: Go's CPU profiler is a process-global singleton,
+// so overlapping captures are skipped rather than queued.
+var ErrProfileBusy = errors.New("monitor: cpu profile already in progress")
+
+// ProfilerConfig configures a Profiler.
+type ProfilerConfig struct {
+	// Dir is the directory holding captured profiles (created if
+	// missing). Required.
+	Dir string
+	// MaxFiles bounds retained profiles per kind (cpu/heap); the oldest
+	// are deleted first. Default 8.
+	MaxFiles int
+	// CPUDuration is how long each CPU capture samples. Default 2s.
+	CPUDuration time.Duration
+	// Cooldown is the minimum spacing between alert-triggered CPU
+	// captures: triggers arriving inside the window are counted as
+	// skipped, so a storm of firing alerts costs one profile, not one
+	// per alert. 0 lets every firing trigger capture.
+	Cooldown time.Duration
+	// Every is the periodic heap-capture interval; 0 disables periodic
+	// captures (alert-triggered captures still work).
+	Every time.Duration
+	// Bus, when set, is watched for firing alert/slo_burn records — each
+	// triggers a CPU capture whose completion is published as a
+	// KindProfile record carrying the profile path and the trigger.
+	// Periodic captures publish KindProfile records too.
+	Bus *events.Bus
+	// Registry, when set, receives monitor.profiler.* counters
+	// (captures{kind=...}, skipped, errors).
+	Registry *telemetry.Registry
+}
+
+// Profiler captures pprof profiles into a bounded on-disk ring:
+// periodic heap snapshots for drift, and alert-triggered CPU profiles
+// so the cause of a QoS violation is captured while it is happening —
+// the firing record's profile is on disk before an operator could have
+// typed the curl command.
+type Profiler struct {
+	cfg ProfilerConfig
+
+	seq      atomic.Uint64 // capture sequence, embedded in filenames
+	cpuBusy  atomic.Bool   // CPU profiling is process-global: single-flight
+	lastTrig atomic.Int64  // UnixNano of the last alert-triggered capture
+
+	mu      sync.Mutex
+	started bool
+	sub     *events.BusSub
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	wg      sync.WaitGroup // in-flight triggered captures
+}
+
+// NewProfiler creates a profiler, creating cfg.Dir if needed.
+func NewProfiler(cfg ProfilerConfig) (*Profiler, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("monitor: profiler requires a directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.MaxFiles <= 0 {
+		cfg.MaxFiles = 8
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 2 * time.Second
+	}
+	return &Profiler{cfg: cfg}, nil
+}
+
+// Start begins periodic captures (when Every > 0) and subscribes to the
+// bus (when set) for alert-triggered CPU captures.
+func (p *Profiler) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	if p.cfg.Bus != nil {
+		p.sub = p.cfg.Bus.Subscribe(p.onRecord, events.KindAlert, events.KindSLOBurn)
+	}
+	if p.cfg.Every > 0 {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		p.stopCh, p.doneCh = stop, done
+		go func() {
+			defer close(done)
+			t := time.NewTicker(p.cfg.Every)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if path, err := p.CaptureHeap("periodic"); err == nil {
+						p.publishProfile("heap", path, "periodic", nil)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// Stop cancels the bus subscription, halts periodic captures, and waits
+// for in-flight triggered captures to finish.
+func (p *Profiler) Stop() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = false
+	if p.sub != nil {
+		p.sub.Cancel()
+		p.sub = nil
+	}
+	stop, done := p.stopCh, p.doneCh
+	p.stopCh, p.doneCh = nil, nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	p.wg.Wait()
+}
+
+// onRecord is the bus callback: a firing alert or burn grabs a CPU
+// profile. The capture runs in its own goroutine — a bus callback must
+// never block publishers for a multi-second profile.
+func (p *Profiler) onRecord(r events.Record) {
+	if fieldValue(r, "state") != "firing" {
+		return
+	}
+	if p.cfg.Cooldown > 0 {
+		last := p.lastTrig.Load()
+		now := time.Now().UnixNano()
+		if last != 0 && time.Duration(now-last) < p.cfg.Cooldown {
+			p.count("skipped")
+			return
+		}
+		if !p.lastTrig.CompareAndSwap(last, now) {
+			p.count("skipped")
+			return
+		}
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		tag := sanitizeTag(r.Source)
+		path, err := p.CaptureCPU(tag)
+		if err != nil {
+			return // ErrProfileBusy or I/O failure, already counted
+		}
+		p.publishProfile("cpu", path, r.Source, &r)
+	}()
+}
+
+// CaptureCPU records a CPU profile for the configured duration and
+// returns its path. Only one CPU capture may run at a time
+// (ErrProfileBusy otherwise).
+func (p *Profiler) CaptureCPU(tag string) (string, error) {
+	if !p.cpuBusy.CompareAndSwap(false, true) {
+		p.count("skipped")
+		return "", ErrProfileBusy
+	}
+	defer p.cpuBusy.Store(false)
+	path := p.nextPath("cpu", tag)
+	f, err := os.Create(path)
+	if err != nil {
+		p.count("errors")
+		return "", err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		p.count("errors")
+		return "", err
+	}
+	time.Sleep(p.cfg.CPUDuration)
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		p.count("errors")
+		return "", err
+	}
+	p.countKind("cpu")
+	p.prune("cpu")
+	return path, nil
+}
+
+// CaptureHeap writes a heap profile and returns its path.
+func (p *Profiler) CaptureHeap(tag string) (string, error) {
+	path := p.nextPath("heap", tag)
+	f, err := os.Create(path)
+	if err != nil {
+		p.count("errors")
+		return "", err
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		os.Remove(path)
+		p.count("errors")
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		p.count("errors")
+		return "", err
+	}
+	p.countKind("heap")
+	p.prune("heap")
+	return path, nil
+}
+
+// Files returns the retained profile paths of a kind ("cpu" or
+// "heap"), oldest first.
+func (p *Profiler) Files(kind string) []string {
+	entries, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	type numbered struct {
+		seq  uint64
+		path string
+	}
+	var out []numbered
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), kind); ok {
+			out = append(out, numbered{seq, filepath.Join(p.cfg.Dir, e.Name())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	paths := make([]string, len(out))
+	for i, n := range out {
+		paths[i] = n.path
+	}
+	return paths
+}
+
+// prune deletes the oldest profiles of a kind beyond MaxFiles.
+func (p *Profiler) prune(kind string) {
+	files := p.Files(kind)
+	for len(files) > p.cfg.MaxFiles {
+		os.Remove(files[0])
+		files = files[1:]
+	}
+}
+
+func (p *Profiler) nextPath(kind, tag string) string {
+	seq := p.seq.Add(1)
+	name := fmt.Sprintf("%s-%06d-%s.pprof", kind, seq, sanitizeTag(tag))
+	return filepath.Join(p.cfg.Dir, name)
+}
+
+// parseSeq extracts the sequence number from "<kind>-<seq>-<tag>.pprof".
+func parseSeq(name, kind string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, kind+"-")
+	if !ok || !strings.HasSuffix(name, ".pprof") {
+		return 0, false
+	}
+	i := strings.IndexByte(rest, '-')
+	if i < 0 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(rest[:i], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+func (p *Profiler) publishProfile(kind, path, trigger string, cause *events.Record) {
+	if p.cfg.Bus == nil {
+		return
+	}
+	fields := []events.Field{
+		events.F("kind", kind),
+		events.F("path", path),
+		events.F("trigger", trigger),
+	}
+	if cause != nil {
+		fields = append(fields, events.F("cause_seq", strconv.FormatUint(cause.Seq, 10)))
+	}
+	p.cfg.Bus.Publish(events.KindProfile, "profiler", fields...)
+}
+
+func (p *Profiler) count(name string) {
+	if p.cfg.Registry != nil {
+		p.cfg.Registry.Counter("monitor.profiler." + name).Inc()
+	}
+}
+
+func (p *Profiler) countKind(kind string) {
+	if p.cfg.Registry != nil {
+		p.cfg.Registry.Counter("monitor.profiler.captures", telemetry.L("kind", kind)).Inc()
+	}
+}
+
+func fieldValue(r events.Record, key string) string {
+	for _, f := range r.Fields {
+		if f.K == key {
+			return f.V
+		}
+	}
+	return ""
+}
+
+// sanitizeTag maps an arbitrary trigger name onto a filename-safe tag.
+func sanitizeTag(tag string) string {
+	if tag == "" {
+		return "manual"
+	}
+	var b strings.Builder
+	for _, r := range tag {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/events"
 	"repro/internal/trace/telemetry"
 )
 
@@ -120,6 +122,12 @@ func RenderProm(reg *telemetry.Registry) string {
 	for _, key := range reg.HistogramKeys() {
 		h := reg.HistogramByKey(key)
 		sum := h.Summary()
+		// A scrape is an observer: yield after each percentile
+		// computation so rendering many full reservoirs never
+		// monopolises a small host's only core for milliseconds at a
+		// stretch — the data path runs between families instead of
+		// queueing behind the whole render.
+		runtime.Gosched()
 		total := h.Sum()
 		ex, hasEx := h.Exemplar()
 		add(key, "summary", func(name string, labels []telemetry.Label) []promSample {
@@ -173,10 +181,24 @@ func Handler(reg *telemetry.Registry) http.Handler {
 	})
 }
 
+// MuxOption extends the monitoring mux with live-introspection routes.
+type MuxOption func(*http.ServeMux)
+
+// WithIntrospect adds /debug/qos serving ix's JSON snapshot.
+func WithIntrospect(ix *Introspector) MuxOption {
+	return func(mux *http.ServeMux) { mux.Handle("/debug/qos", ix.Handler()) }
+}
+
+// WithEvents adds /events streaming bus records as NDJSON.
+func WithEvents(bus *events.Bus) MuxOption {
+	return func(mux *http.ServeMux) { mux.Handle("/events", EventsHandler(bus)) }
+}
+
 // NewMux builds an http.ServeMux exposing /metrics for reg plus the
 // /debug/pprof handlers, registered explicitly so callers never depend
-// on the global http.DefaultServeMux.
-func NewMux(reg *telemetry.Registry) *http.ServeMux {
+// on the global http.DefaultServeMux. Options add the live
+// introspection routes (/debug/qos, /events).
+func NewMux(reg *telemetry.Registry, opts ...MuxOption) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -184,5 +206,8 @@ func NewMux(reg *telemetry.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
 }

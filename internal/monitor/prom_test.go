@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"strconv"
@@ -244,5 +245,28 @@ func TestPromNameSanitisation(t *testing.T) {
 	}
 	if got := promLabelName("a:b"); got != "a_b" {
 		t.Fatalf("promLabelName = %q", got)
+	}
+}
+
+// BenchmarkRenderProm prices one /metrics scrape against a registry
+// shaped like the wire plane's: a handful of counters and gauges plus
+// full-reservoir histograms. Scrape cost lands directly on the data
+// path of small hosts, so it is worth watching.
+func BenchmarkRenderProm(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 8; i++ {
+		lane := telemetry.L("lane", fmt.Sprintf("%d", i))
+		reg.Counter("wire.server.dispatched", lane).Add(float64(1000 * i))
+		reg.Gauge("wire.server.queue_depth", lane).Set(float64(i))
+		h := reg.Histogram("wire.client.rtt_ms", lane)
+		for j := 0; j < telemetry.DefaultReservoirCap; j++ {
+			h.Observe(float64(j%997) / 31.0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := RenderProm(reg); len(out) == 0 {
+			b.Fatal("empty exposition")
+		}
 	}
 }

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/events"
@@ -72,35 +73,66 @@ func (r *Rule) holds(v float64) bool {
 // KindAlert transitions on the bus (when one is attached). Series are
 // created lazily as instruments appear in the registry, so scenarios
 // may register metrics after the sampler starts.
+//
+// The sampler is clock-abstract (the same injected-clock move the
+// breaker package made): NewSampler ticks on a simulation kernel,
+// NewWallSampler ticks on the wall clock in its own goroutine against
+// a live process's registry. All state is mutex-guarded so wall-clock
+// ticks, condition reads, and Stop may race cleanly.
 type Sampler struct {
-	K     *sim.Kernel
+	K     *sim.Kernel // nil in wall-clock mode
 	Reg   *telemetry.Registry
 	Bus   *events.Bus // optional; alert + tick records
 	Every time.Duration
 	// WindowCap bounds retained windows per series (DefaultWindows if 0).
 	WindowCap int
 
-	series    map[string]*Series
-	prevCount map[string]float64
-	rules     []*Rule
-	order     []string // series creation order, for deterministic dashboards
-	lastTick  sim.Time
-	ticks     int
-	stopped   bool
-	started   bool
+	now func() sim.Time
+
+	mu         sync.Mutex
+	series     map[string]*Series
+	prevCount  map[string]float64
+	rules      []*Rule
+	collectors []func() // run at the top of every tick (runtime collector hook)
+	order      []string // series creation order, for deterministic dashboards
+	lastTick   sim.Time
+	ticks      int
+	stopped    bool
+	started    bool
+	stopCh     chan struct{} // wall mode: signals the ticker goroutine
+	doneCh     chan struct{} // wall mode: closed when the goroutine exits
 }
 
 // NewSampler creates a sampler over reg ticking every period (
-// DefaultEvery if <= 0). The bus may be nil.
+// DefaultEvery if <= 0) on k's virtual clock. The bus may be nil.
 func NewSampler(k *sim.Kernel, reg *telemetry.Registry, bus *events.Bus, every time.Duration) *Sampler {
+	s := newSampler(reg, bus, every, k.Now)
+	s.K = k
+	return s
+}
+
+// NewWallSampler creates a sampler ticking on the wall clock: Start
+// launches a goroutine sampling every period and Stop halts it
+// synchronously. now anchors the window-timestamp domain — pass the
+// wire tracer's Elapsed so windows line up with spans and bus records,
+// or nil to anchor at the sampler's creation.
+func NewWallSampler(reg *telemetry.Registry, bus *events.Bus, every time.Duration, now func() sim.Time) *Sampler {
+	if now == nil {
+		start := time.Now()
+		now = func() sim.Time { return sim.Time(time.Since(start)) }
+	}
+	return newSampler(reg, bus, every, now)
+}
+
+func newSampler(reg *telemetry.Registry, bus *events.Bus, every time.Duration, now func() sim.Time) *Sampler {
 	if every <= 0 {
 		every = DefaultEvery
 	}
 	return &Sampler{
-		K:         k,
 		Reg:       reg,
 		Bus:       bus,
 		Every:     every,
+		now:       now,
 		series:    make(map[string]*Series),
 		prevCount: make(map[string]float64),
 	}
@@ -111,34 +143,104 @@ func (s *Sampler) AddRule(r *Rule) *Sampler {
 	if r.For < 1 {
 		r.For = 1
 	}
+	s.mu.Lock()
 	s.rules = append(s.rules, r)
+	s.mu.Unlock()
 	return s
 }
 
-// Start schedules the recurring sampling tick.
+// AddCollector registers fn to run at the top of every tick, before
+// instruments are read — the hook the Go runtime collector uses so each
+// window carries a fresh snapshot of process health.
+func (s *Sampler) AddCollector(fn func()) *Sampler {
+	s.mu.Lock()
+	s.collectors = append(s.collectors, fn)
+	s.mu.Unlock()
+	return s
+}
+
+// Start schedules the recurring sampling tick. In wall-clock mode it
+// may be called again after Stop to resume sampling.
 func (s *Sampler) Start() {
+	s.mu.Lock()
 	if s.started {
+		s.mu.Unlock()
 		return
 	}
 	s.started = true
-	s.lastTick = s.K.Now()
-	var tick func()
-	tick = func() {
-		if s.stopped {
-			return
+	s.stopped = false
+	s.lastTick = s.now()
+	if s.K != nil {
+		s.mu.Unlock()
+		var tick func()
+		tick = func() {
+			if s.isStopped() {
+				return
+			}
+			s.Tick()
+			s.K.After(s.Every, tick)
 		}
-		s.Tick()
 		s.K.After(s.Every, tick)
+		return
 	}
-	s.K.After(s.Every, tick)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stopCh, s.doneCh = stop, done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(s.Every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Tick()
+			}
+		}
+	}()
 }
 
-// Stop halts sampling after the current tick.
-func (s *Sampler) Stop() { s.stopped = true }
+// Stop halts sampling after the current tick. In wall-clock mode it
+// waits for the ticker goroutine to exit before returning, so callers
+// may tear down the registry or bus immediately after.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	if s.stopped || !s.started {
+		s.stopped = true
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	stop, done := s.stopCh, s.doneCh
+	s.stopCh, s.doneCh = nil, nil
+	if s.K == nil {
+		// Wall mode supports restart; the simulation kernel schedule is
+		// one-shot like before.
+		s.started = false
+	}
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+func (s *Sampler) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
 
 // Ticks returns the number of completed sampling ticks.
-func (s *Sampler) Ticks() int { return s.ticks }
+func (s *Sampler) Ticks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
 
+// get returns the named series, creating it if needed. Caller holds mu.
 func (s *Sampler) get(name string) *Series {
 	sr, ok := s.series[name]
 	if !ok {
@@ -150,18 +252,37 @@ func (s *Sampler) get(name string) *Series {
 }
 
 // Series returns the series for a canonical instrument key (histograms
-// additionally expose "<key>.window"), or nil if never sampled.
-func (s *Sampler) Series(name string) *Series { return s.series[name] }
+// additionally expose "<key>.window"), or nil if never sampled. The
+// returned series is itself safe for concurrent reads.
+func (s *Sampler) Series(name string) *Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[name]
+}
 
 // SeriesNames returns all series in creation order (registry key order
 // at each tick, so deterministic for a deterministic scenario).
-func (s *Sampler) SeriesNames() []string { return append([]string(nil), s.order...) }
+func (s *Sampler) SeriesNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
 
-// Tick closes one sampling window: reads every instrument, appends
-// window summaries, and evaluates alert rules. Exposed so tests and
-// scenarios can force a final window at shutdown.
+// Tick closes one sampling window: runs collectors, reads every
+// instrument, appends window summaries, and evaluates alert rules.
+// Exposed so tests and scenarios can force a final window at shutdown.
 func (s *Sampler) Tick() {
-	start, end := s.lastTick, s.K.Now()
+	s.mu.Lock()
+	collectors := s.collectors
+	s.mu.Unlock()
+	// Collectors touch only the (thread-safe) registry; run them outside
+	// the sampler lock so a slow collector cannot stall readers.
+	for _, fn := range collectors {
+		fn()
+	}
+
+	s.mu.Lock()
+	start, end := s.lastTick, s.now()
 	s.lastTick = end
 	s.ticks++
 
@@ -183,15 +304,36 @@ func (s *Sampler) Tick() {
 		s.get(key + ".window").Append(Window{Start: start, End: end, Summary: sum, Exemplar: ex})
 	}
 
+	var pending []pendingRecord
 	if s.Bus != nil {
-		s.Bus.Publish(events.KindSample, "sampler",
-			events.F("tick", strconv.Itoa(s.ticks)),
-			events.F("series", strconv.Itoa(len(s.series))))
+		pending = append(pending, pendingRecord{
+			kind:   events.KindSample,
+			source: "sampler",
+			fields: []events.Field{
+				events.F("tick", strconv.Itoa(s.ticks)),
+				events.F("series", strconv.Itoa(len(s.series))),
+			},
+		})
 	}
-	s.evalRules()
+	pending = s.evalRules(pending)
+	s.mu.Unlock()
+
+	// Publish outside the lock: bus subscribers (profiler, contracts) may
+	// read sampler state from their callbacks.
+	for _, p := range pending {
+		s.Bus.Publish(p.kind, p.source, p.fields...)
+	}
 }
 
-func (s *Sampler) evalRules() {
+type pendingRecord struct {
+	kind   events.Kind
+	source string
+	fields []events.Field
+}
+
+// evalRules updates rule streaks and appends alert transitions to
+// pending. Caller holds mu.
+func (s *Sampler) evalRules(pending []pendingRecord) []pendingRecord {
 	for _, r := range s.rules {
 		sr := s.series[r.Series]
 		if sr == nil {
@@ -216,25 +358,31 @@ func (s *Sampler) evalRules() {
 		switch {
 		case !r.firing && r.streak >= r.For:
 			r.firing = true
-			s.alert(r, "firing", v)
+			pending = s.alert(pending, r, "firing", v)
 		case r.firing && r.streak == 0:
 			r.firing = false
-			s.alert(r, "resolved", v)
+			pending = s.alert(pending, r, "resolved", v)
 		}
 	}
+	return pending
 }
 
-func (s *Sampler) alert(r *Rule, state string, v float64) {
+func (s *Sampler) alert(pending []pendingRecord, r *Rule, state string, v float64) []pendingRecord {
 	if s.Bus == nil {
-		return
+		return pending
 	}
-	s.Bus.Publish(events.KindAlert, "rule/"+r.Name,
-		events.F("state", state),
-		events.F("series", r.Series),
-		events.F("stat", r.Stat.String()),
-		events.F("op", r.Op.String()),
-		events.F("value", strconv.FormatFloat(v, 'g', 6, 64)),
-		events.F("threshold", strconv.FormatFloat(r.Threshold, 'g', 6, 64)))
+	return append(pending, pendingRecord{
+		kind:   events.KindAlert,
+		source: "rule/" + r.Name,
+		fields: []events.Field{
+			events.F("state", state),
+			events.F("series", r.Series),
+			events.F("stat", r.Stat.String()),
+			events.F("op", r.Op.String()),
+			events.F("value", strconv.FormatFloat(v, 'g', 6, 64)),
+			events.F("threshold", strconv.FormatFloat(r.Threshold, 'g', 6, 64)),
+		},
+	})
 }
 
 // SeriesCond adapts one sampled series statistic into a QuO system

@@ -11,6 +11,7 @@ package monitor
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -116,9 +117,12 @@ const DefaultWindows = 256
 // accumulate in a deterministic reservoir until Roll closes the window,
 // and closed windows live in a fixed-capacity ring (oldest evicted
 // first), so a long-running scenario's monitoring memory is bounded no
-// matter how often it samples.
+// matter how often it samples. Series are safe for concurrent use: a
+// wall-clock sampler goroutine may roll windows while condition objects
+// and dashboards read them.
 type Series struct {
 	Name string
+	mu   sync.Mutex
 	res  *telemetry.Reservoir
 	wins []Window
 	head int // index of oldest
@@ -135,20 +139,32 @@ func NewSeries(name string, windows int) *Series {
 }
 
 // Observe records one value into the currently open window.
-func (s *Series) Observe(v float64) { s.res.Observe(v) }
+func (s *Series) Observe(v float64) {
+	s.mu.Lock()
+	s.res.Observe(v)
+	s.mu.Unlock()
+}
 
 // Roll closes the open window over [start, end), appending its summary
 // to the ring and resetting the reservoir.
 func (s *Series) Roll(start, end sim.Time) Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w := Window{Start: start, End: end, Summary: s.res.Summary()}
 	s.res.Reset()
-	s.Append(w)
+	s.append(w)
 	return w
 }
 
 // Append adds an externally summarized window (the sampler uses it for
 // histogram windows drained via TakeWindow).
 func (s *Series) Append(w Window) {
+	s.mu.Lock()
+	s.append(w)
+	s.mu.Unlock()
+}
+
+func (s *Series) append(w Window) {
 	if s.n < len(s.wins) {
 		s.wins[(s.head+s.n)%len(s.wins)] = w
 		s.n++
@@ -159,34 +175,50 @@ func (s *Series) Append(w Window) {
 }
 
 // Len returns the number of retained windows.
-func (s *Series) Len() int { return s.n }
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
 
 // Window returns retained window i (0 = oldest).
-func (s *Series) Window(i int) Window { return s.wins[(s.head+i)%len(s.wins)] }
+func (s *Series) Window(i int) Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window(i)
+}
+
+func (s *Series) window(i int) Window { return s.wins[(s.head+i)%len(s.wins)] }
 
 // Windows returns the retained windows, oldest first.
 func (s *Series) Windows() []Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Window, s.n)
 	for i := 0; i < s.n; i++ {
-		out[i] = s.Window(i)
+		out[i] = s.window(i)
 	}
 	return out
 }
 
 // Last returns the most recently closed window.
 func (s *Series) Last() (Window, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.n == 0 {
 		return Window{}, false
 	}
-	return s.Window(s.n - 1), true
+	return s.window(s.n - 1), true
 }
 
 // LastNonEmpty returns the most recent window holding at least one
 // observation — the value a condition should act on when the source
 // went quiet for a tick.
 func (s *Series) LastNonEmpty() (Window, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := s.n - 1; i >= 0; i-- {
-		if w := s.Window(i); w.N > 0 {
+		if w := s.window(i); w.N > 0 {
 			return w, true
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/events"
@@ -90,15 +91,19 @@ type pairState struct {
 	fired   bool
 }
 
-// Tracker accumulates good/bad events into a bucketed ring on the sim
-// clock and evaluates multi-window burn rates. All methods must run on
-// the kernel goroutine (like the tracer and contracts); evaluation is
-// driven by Start's periodic tick or an explicit Evaluate call.
+// Tracker accumulates good/bad events into a bucketed ring and
+// evaluates multi-window burn rates. It is clock-abstract: NewTracker
+// runs on a simulation kernel's virtual clock (evaluation driven by
+// Start's kernel tick), NewWallTracker runs on the wall clock with
+// Start launching a ticker goroutine. All state is mutex-guarded, so
+// live wire handlers may Observe concurrently with evaluation.
 type Tracker struct {
-	k   *sim.Kernel
+	k   *sim.Kernel // nil in wall-clock mode
+	now func() sim.Time
 	obj Objective
 	bus *events.Bus // optional
 
+	mu        sync.Mutex
 	bucketLen sim.Time
 	ring      []bucket
 	ringStart sim.Time // virtual time of ring[head]'s slot start
@@ -109,12 +114,32 @@ type Tracker struct {
 	bad     int64
 	started bool
 	stopped bool
+	stopCh  chan struct{} // wall mode: signals the ticker goroutine
+	doneCh  chan struct{} // wall mode: closed when the goroutine exits
 }
 
-// NewTracker creates a tracker for obj, publishing transitions on bus
-// (nil for none). Bucket granularity is the shortest pair window / 5,
-// so every window spans at least five buckets.
+// NewTracker creates a tracker for obj on k's virtual clock, publishing
+// transitions on bus (nil for none). Bucket granularity is the shortest
+// pair window / 5, so every window spans at least five buckets.
 func NewTracker(k *sim.Kernel, obj Objective, bus *events.Bus) *Tracker {
+	t := newTracker(obj, bus, k.Now)
+	t.k = k
+	return t
+}
+
+// NewWallTracker creates a tracker evaluating on the wall clock, for
+// live wire processes. now anchors the timestamp domain — pass the wire
+// tracer's Elapsed so slo_burn records line up with spans, or nil to
+// anchor at the tracker's creation.
+func NewWallTracker(obj Objective, bus *events.Bus, now func() sim.Time) *Tracker {
+	if now == nil {
+		start := time.Now()
+		now = func() sim.Time { return sim.Time(time.Since(start)) }
+	}
+	return newTracker(obj, bus, now)
+}
+
+func newTracker(obj Objective, bus *events.Bus, now func() sim.Time) *Tracker {
 	if obj.Goal <= 0 || obj.Goal >= 1 {
 		panic("slo: objective goal must be in (0, 1)")
 	}
@@ -138,13 +163,14 @@ func NewTracker(k *sim.Kernel, obj Objective, bus *events.Bus) *Tracker {
 		bl = 1
 	}
 	n := int(sim.Time(longest)/bl) + 2
+	start := now()
 	t := &Tracker{
-		k:         k,
+		now:       now,
 		obj:       obj,
 		bus:       bus,
 		bucketLen: bl,
 		ring:      make([]bucket, n),
-		ringStart: k.Now() - k.Now()%bl,
+		ringStart: start - start%bl,
 	}
 	for _, p := range obj.Pairs {
 		t.pairs = append(t.pairs, &pairState{pair: p})
@@ -156,7 +182,7 @@ func NewTracker(k *sim.Kernel, obj Objective, bus *events.Bus) *Tracker {
 func (t *Tracker) Objective() Objective { return t.obj }
 
 // advance rotates the ring forward so the bucket covering now exists,
-// zeroing slots that fell out of every window.
+// zeroing slots that fell out of every window. Caller holds mu.
 func (t *Tracker) advance(now sim.Time) {
 	slot := now - now%t.bucketLen
 	last := t.ringStart + sim.Time(len(t.ring)-1)*t.bucketLen
@@ -169,7 +195,7 @@ func (t *Tracker) advance(now sim.Time) {
 }
 
 // at returns the bucket covering the virtual time v, or nil when v is
-// older than the ring retains.
+// older than the ring retains. Caller holds mu.
 func (t *Tracker) at(v sim.Time) *bucket {
 	if v < t.ringStart {
 		return nil
@@ -181,9 +207,11 @@ func (t *Tracker) at(v sim.Time) *bucket {
 	return &t.ring[(t.head+idx)%len(t.ring)]
 }
 
-// Observe records one event outcome at the current virtual time.
+// Observe records one event outcome at the current clock time.
 func (t *Tracker) Observe(good bool) {
-	now := t.k.Now()
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.advance(now)
 	b := t.at(now)
 	if good {
@@ -205,11 +233,14 @@ func (t *Tracker) ObserveLatency(d time.Duration) {
 }
 
 // Totals returns the all-time good/bad counts.
-func (t *Tracker) Totals() (good, bad int64) { return t.good, t.bad }
+func (t *Tracker) Totals() (good, bad int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.good, t.bad
+}
 
-// window sums the buckets covering (now-w, now].
-func (t *Tracker) window(w time.Duration) (good, bad int64) {
-	now := t.k.Now()
+// window sums the buckets covering (now-w, now]. Caller holds mu.
+func (t *Tracker) window(now sim.Time, w time.Duration) (good, bad int64) {
 	lo := now - sim.Time(w)
 	for v := lo - lo%t.bucketLen; v <= now; v += t.bucketLen {
 		if b := t.at(v); b != nil {
@@ -220,10 +251,10 @@ func (t *Tracker) window(w time.Duration) (good, bad int64) {
 	return good, bad
 }
 
-// Burn returns the burn rate over the trailing window w: the bad-event
-// ratio divided by the error budget (0 when the window is empty).
-func (t *Tracker) Burn(w time.Duration) float64 {
-	good, bad := t.window(w)
+// burn computes the burn rate over the trailing window w ending at
+// now. Caller holds mu.
+func (t *Tracker) burn(now sim.Time, w time.Duration) float64 {
+	good, bad := t.window(now, w)
 	total := good + bad
 	if total == 0 {
 		return 0
@@ -231,15 +262,27 @@ func (t *Tracker) Burn(w time.Duration) float64 {
 	return (float64(bad) / float64(total)) / (1 - t.obj.Goal)
 }
 
+// Burn returns the burn rate over the trailing window w: the bad-event
+// ratio divided by the error budget (0 when the window is empty).
+func (t *Tracker) Burn(w time.Duration) float64 {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.burn(now, w)
+}
+
 // WorstBurn returns the highest pairwise burn: for each pair the lesser
 // of its short- and long-window burns (the value the firing test
 // compares against the threshold), maximised over pairs.
 func (t *Tracker) WorstBurn() float64 {
-	t.advance(t.k.Now())
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.advance(now)
 	worst := 0.0
 	for _, ps := range t.pairs {
-		b := t.Burn(ps.pair.Short)
-		if lb := t.Burn(ps.pair.Long); lb < b {
+		b := t.burn(now, ps.pair.Short)
+		if lb := t.burn(now, ps.pair.Long); lb < b {
 			b = lb
 		}
 		if b > worst {
@@ -253,11 +296,18 @@ func (t *Tracker) WorstBurn() float64 {
 // publishing slo_burn transitions on the bus. Returns the number of
 // pairs currently firing.
 func (t *Tracker) Evaluate() int {
-	now := t.k.Now()
+	now := t.now()
+	type transition struct {
+		ps          *pairState
+		state       string
+		short, long float64
+	}
+	var pending []transition
+	t.mu.Lock()
 	t.advance(now)
 	firing := 0
 	for _, ps := range t.pairs {
-		short, long := t.Burn(ps.pair.Short), t.Burn(ps.pair.Long)
+		short, long := t.burn(now, ps.pair.Short), t.burn(now, ps.pair.Long)
 		hot := short >= ps.pair.Burn && long >= ps.pair.Burn
 		switch {
 		case hot && !ps.firing:
@@ -266,14 +316,20 @@ func (t *Tracker) Evaluate() int {
 				ps.fired = true
 				ps.firedAt = now
 			}
-			t.publish(ps, "firing", short, long)
+			pending = append(pending, transition{ps, "firing", short, long})
 		case !hot && ps.firing:
 			ps.firing = false
-			t.publish(ps, "resolved", short, long)
+			pending = append(pending, transition{ps, "resolved", short, long})
 		}
 		if ps.firing {
 			firing++
 		}
+	}
+	t.mu.Unlock()
+	// Publish outside the lock: bus subscribers (the profiler's
+	// burn-triggered capture) may read tracker state from their callbacks.
+	for _, tr := range pending {
+		t.publish(tr.ps, tr.state, tr.short, tr.long)
 	}
 	return firing
 }
@@ -292,6 +348,8 @@ func (t *Tracker) publish(ps *pairState, state string, short, long float64) {
 
 // Firing reports whether any pair is currently in the firing state.
 func (t *Tracker) Firing() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, ps := range t.pairs {
 		if ps.firing {
 			return true
@@ -300,9 +358,11 @@ func (t *Tracker) Firing() bool {
 	return false
 }
 
-// FiredAt returns the virtual time the given pair (by index) first
+// FiredAt returns the clock time the given pair (by index) first
 // fired, and whether it ever did.
 func (t *Tracker) FiredAt(pair int) (sim.Time, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if pair < 0 || pair >= len(t.pairs) {
 		return 0, false
 	}
@@ -310,34 +370,87 @@ func (t *Tracker) FiredAt(pair int) (sim.Time, bool) {
 }
 
 // Start schedules periodic evaluation every interval (bucket length if
-// <= 0) until Stop.
+// <= 0) until Stop. In wall-clock mode the evaluation runs in its own
+// ticker goroutine; Stop halts it synchronously.
 func (t *Tracker) Start(every time.Duration) {
+	t.mu.Lock()
 	if t.started {
+		t.mu.Unlock()
 		return
 	}
 	t.started = true
+	t.stopped = false
 	ev := sim.Time(every)
 	if ev <= 0 {
 		ev = t.bucketLen
 	}
-	var tick func()
-	tick = func() {
-		if t.stopped {
-			return
+	if t.k != nil {
+		t.mu.Unlock()
+		var tick func()
+		tick = func() {
+			if t.isStopped() {
+				return
+			}
+			t.Evaluate()
+			t.k.After(time.Duration(ev), tick)
 		}
-		t.Evaluate()
 		t.k.After(time.Duration(ev), tick)
+		return
 	}
-	t.k.After(time.Duration(ev), tick)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t.stopCh, t.doneCh = stop, done
+	t.mu.Unlock()
+	go func() {
+		defer close(done)
+		tk := time.NewTicker(time.Duration(ev))
+		defer tk.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tk.C:
+				t.Evaluate()
+			}
+		}
+	}()
 }
 
-// Stop halts periodic evaluation.
-func (t *Tracker) Stop() { t.stopped = true }
+// Stop halts periodic evaluation. In wall-clock mode it waits for the
+// evaluation goroutine to exit before returning.
+func (t *Tracker) Stop() {
+	t.mu.Lock()
+	if t.stopped || !t.started {
+		t.stopped = true
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	stop, done := t.stopCh, t.doneCh
+	t.stopCh, t.doneCh = nil, nil
+	if t.k == nil {
+		t.started = false
+	}
+	t.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+func (t *Tracker) isStopped() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stopped
+}
 
 // Render returns the tracker's current state as deterministic text:
 // one line per pair with both burns and the alert state.
 func (t *Tracker) Render() string {
-	t.advance(t.k.Now())
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.advance(now)
 	var b strings.Builder
 	good, bad := t.good, t.bad
 	ratio := 1.0
@@ -352,9 +465,46 @@ func (t *Tracker) Render() string {
 			state = "FIRING"
 		}
 		fmt.Fprintf(&b, "  pair %-12s burn>=%-5g short %-8.4g long %-8.4g %s\n",
-			ps.pair.Name(), ps.pair.Burn, t.Burn(ps.pair.Short), t.Burn(ps.pair.Long), state)
+			ps.pair.Name(), ps.pair.Burn, t.burn(now, ps.pair.Short), t.burn(now, ps.pair.Long), state)
 	}
 	return b.String()
+}
+
+// PairSnapshot is one window pair's live state for introspection.
+type PairSnapshot struct {
+	Window    string  `json:"window"`
+	Burn      float64 `json:"burn_threshold"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	Firing    bool    `json:"firing"`
+}
+
+// Snapshot is the tracker's live state for the /debug/qos endpoint.
+type Snapshot struct {
+	Name  string         `json:"name"`
+	Goal  float64        `json:"goal"`
+	Good  int64          `json:"good"`
+	Bad   int64          `json:"bad"`
+	Pairs []PairSnapshot `json:"pairs"`
+}
+
+// Snapshot returns the tracker's current state for live introspection.
+func (t *Tracker) Snapshot() Snapshot {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.advance(now)
+	s := Snapshot{Name: t.obj.Name, Goal: t.obj.Goal, Good: t.good, Bad: t.bad}
+	for _, ps := range t.pairs {
+		s.Pairs = append(s.Pairs, PairSnapshot{
+			Window:    ps.pair.Name(),
+			Burn:      ps.pair.Burn,
+			BurnShort: t.burn(now, ps.pair.Short),
+			BurnLong:  t.burn(now, ps.pair.Long),
+			Firing:    ps.firing,
+		})
+	}
+	return s
 }
 
 // BurnCond adapts the tracker's worst pairwise burn into a QuO system

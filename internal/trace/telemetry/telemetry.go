@@ -233,22 +233,29 @@ func (r *Reservoir) Reset() {
 // beyond it, percentiles come from the uniform sample while N, mean,
 // std, min and max remain exact.
 func (r *Reservoir) Summary() metrics.Summary {
-	if r.n == 0 {
+	return summarizeSampled(r.vs, r.n, r.sum, r.sq, r.min, r.max)
+}
+
+// summarizeSampled builds a Summary from a retained sample plus the
+// exact stream moments, the shared tail of Reservoir.Summary and the
+// out-of-lock Histogram.Summary path.
+func summarizeSampled(vs []float64, n int64, sum, sq, min, max float64) metrics.Summary {
+	if n == 0 {
 		return metrics.Summary{}
 	}
-	s := metrics.Summarize(r.vs)
-	if int64(len(r.vs)) == r.n {
+	s := metrics.Summarize(vs)
+	if int64(len(vs)) == n {
 		return s
 	}
-	s.N = int(r.n)
-	mean := r.sum / float64(r.n)
-	variance := r.sq/float64(r.n) - mean*mean
+	s.N = int(n)
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
 	if variance < 0 {
 		variance = 0
 	}
 	s.Mean = mean
 	s.Std = math.Sqrt(variance)
-	s.Min, s.Max = r.min, r.max
+	s.Min, s.Max = min, max
 	return s
 }
 
@@ -344,14 +351,21 @@ func (h *Histogram) Values() []float64 {
 	return append([]float64(nil), h.cum.Values()...)
 }
 
-// Summary computes distribution statistics over all observations.
+// Summary computes distribution statistics over all observations. The
+// retained sample is copied out under the lock (a bounded memcpy) and
+// the O(n log n) percentile computation runs outside it, so a scrape
+// summarising a full reservoir never blocks the data path's Observe.
 func (h *Histogram) Summary() metrics.Summary {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.cum == nil {
+		h.mu.Unlock()
 		return metrics.Summary{}
 	}
-	return h.cum.Summary()
+	vs := append([]float64(nil), h.cum.vs...)
+	n, sum, sq := h.cum.n, h.cum.sum, h.cum.sq
+	min, max := h.cum.min, h.cum.max
+	h.mu.Unlock()
+	return summarizeSampled(vs, n, sum, sq, min, max)
 }
 
 // TakeWindow summarizes the observations since the previous TakeWindow

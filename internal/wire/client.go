@@ -87,8 +87,11 @@ type clientBand struct {
 	floor int16
 	label string
 	ep    string // breaker endpoint key: addr#floor
-	mu    sync.Mutex
-	conns []*clientConn
+	// poolGauge mirrors len(conns) into the registry so live scrapes
+	// and the sampler see banded-pool occupancy.
+	poolGauge *telemetry.Gauge
+	mu        sync.Mutex
+	conns     []*clientConn
 	// dialing counts in-flight dials so concurrent first calls cannot
 	// overshoot ConnsPerBand.
 	dialing int
@@ -211,11 +214,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			return c.jrand.Int63n(n)
 		})
 	for _, floor := range cfg.Bands {
+		label := strconv.Itoa(int(floor))
 		c.bands = append(c.bands, &clientBand{
-			c:     c,
-			floor: floor,
-			label: strconv.Itoa(int(floor)),
-			ep:    fmt.Sprintf("%s#%d", cfg.Addr, floor),
+			c:         c,
+			floor:     floor,
+			label:     label,
+			ep:        fmt.Sprintf("%s#%d", cfg.Addr, floor),
+			poolGauge: c.reg.Gauge("wire.client.pool_conns", telemetry.L("band", label)),
 		})
 	}
 	return c, nil
@@ -470,6 +475,7 @@ func (b *clientBand) get() (*clientConn, error) {
 			return nil, ErrClientClosed
 		}
 		b.conns = append(b.conns, conn)
+		b.poolGauge.Set(float64(len(b.conns)))
 		b.mu.Unlock()
 		return conn, nil
 	}
@@ -511,6 +517,7 @@ func (b *clientBand) remove(conn *clientConn) {
 			break
 		}
 	}
+	b.poolGauge.Set(float64(len(b.conns)))
 	b.mu.Unlock()
 }
 
@@ -532,6 +539,7 @@ func (c *Client) Close() {
 		b.mu.Lock()
 		conns := append([]*clientConn(nil), b.conns...)
 		b.conns = nil
+		b.poolGauge.Set(0)
 		b.mu.Unlock()
 		for _, conn := range conns {
 			conn.fail(ErrClientClosed)

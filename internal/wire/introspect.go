@@ -1,0 +1,120 @@
+package wire
+
+// Live introspection snapshots for the /debug/qos endpoint: each layer
+// of the wire plane exposes its current state as a JSON-marshalable
+// value, assembled per request by a monitor.Introspector. Snapshots are
+// lock-cheap (atomics plus one short mutex hold per band) so scraping
+// them does not perturb the data path being observed.
+
+// LaneSnapshot is one server worker lane's live state.
+type LaneSnapshot struct {
+	Priority   int16 `json:"priority"`
+	Workers    int   `json:"workers"`
+	Depth      int   `json:"depth"`
+	QueueLimit int   `json:"queue_limit"`
+	Served     int64 `json:"served"`
+	Refused    int64 `json:"refused"`
+	Shed       int64 `json:"shed"`
+}
+
+// ServerSnapshot is the server's live state.
+type ServerSnapshot struct {
+	Name        string         `json:"name"`
+	Connections int            `json:"connections"`
+	Draining    bool           `json:"draining"`
+	Lanes       []LaneSnapshot `json:"lanes"`
+}
+
+// Snapshot returns the server's current state for live introspection.
+func (s *Server) Snapshot() ServerSnapshot {
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	out := ServerSnapshot{Name: s.name, Connections: conns, Draining: s.draining.Load()}
+	for _, lane := range s.lanes {
+		out.Lanes = append(out.Lanes, LaneSnapshot{
+			Priority:   lane.cfg.Priority,
+			Workers:    lane.cfg.Workers,
+			Depth:      len(lane.ch),
+			QueueLimit: cap(lane.ch),
+			Served:     lane.served.Load(),
+			Refused:    lane.refused.Load(),
+			Shed:       lane.shed.Load(),
+		})
+	}
+	return out
+}
+
+// BandSnapshot is one client priority band's live state.
+type BandSnapshot struct {
+	Floor        int16  `json:"floor"`
+	Conns        int    `json:"conns"`
+	ConnsPerBand int    `json:"conns_per_band"`
+	Dialing      int    `json:"dialing"`
+	Breaker      string `json:"breaker"`
+}
+
+// ClientSnapshot is a banded client's live state.
+type ClientSnapshot struct {
+	Addr  string         `json:"addr"`
+	Bands []BandSnapshot `json:"bands"`
+}
+
+// Snapshot returns the client's current pool and breaker state.
+func (c *Client) Snapshot() ClientSnapshot {
+	out := ClientSnapshot{Addr: c.cfg.Addr}
+	for _, b := range c.bands {
+		b.mu.Lock()
+		conns, dialing := len(b.conns), b.dialing
+		b.mu.Unlock()
+		out.Bands = append(out.Bands, BandSnapshot{
+			Floor:        b.floor,
+			Conns:        conns,
+			ConnsPerBand: c.cfg.ConnsPerBand,
+			Dialing:      dialing,
+			Breaker:      c.brk.State(b.ep).String(),
+		})
+	}
+	return out
+}
+
+// GroupEndpointSnapshot is one group member's live state.
+type GroupEndpointSnapshot struct {
+	Addr    string         `json:"addr"`
+	Healthy bool           `json:"healthy"`
+	Primary bool           `json:"primary"`
+	Bands   []BandSnapshot `json:"bands"`
+}
+
+// GroupSnapshot is the fault-tolerant group client's live state:
+// endpoint health, pool occupancy per member, and retry-budget level.
+type GroupSnapshot struct {
+	Name         string                  `json:"name"`
+	Primary      int                     `json:"primary"`
+	BudgetTokens float64                 `json:"retry_budget_tokens"`
+	BudgetSpent  int64                   `json:"retry_budget_spent"`
+	BudgetDenied int64                   `json:"retry_budget_denied"`
+	Endpoints    []GroupEndpointSnapshot `json:"endpoints"`
+}
+
+// Snapshot returns the group client's current state for introspection.
+func (g *GroupClient) Snapshot() GroupSnapshot {
+	primary := g.Primary()
+	out := GroupSnapshot{
+		Name:         g.name,
+		Primary:      primary,
+		BudgetTokens: g.budget.Tokens(),
+		BudgetSpent:  g.budget.Spent(),
+		BudgetDenied: g.budget.Denied(),
+	}
+	for i, ep := range g.eps {
+		cs := ep.cli.Snapshot()
+		out.Endpoints = append(out.Endpoints, GroupEndpointSnapshot{
+			Addr:    ep.addr,
+			Healthy: !ep.down.Load(),
+			Primary: i == primary,
+			Bands:   cs.Bands,
+		})
+	}
+	return out
+}

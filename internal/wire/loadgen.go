@@ -55,6 +55,10 @@ type ClassReport struct {
 	Latency metrics.Summary
 	// Throughput is successful replies per wall-clock second.
 	Throughput float64
+	// RawMs holds the individual successful-call round trips behind
+	// Latency, so callers can pool samples across runs and compute
+	// percentiles over one large distribution.
+	RawMs []float64 `json:"-"`
 }
 
 // RunLoad offers every class concurrently against client c for d and
@@ -142,6 +146,7 @@ loop:
 
 	elapsed := time.Since(start)
 	rep.Latency = metrics.Summarize(lats)
+	rep.RawMs = lats
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.Throughput = float64(rep.OK) / secs
 	}

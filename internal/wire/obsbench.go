@@ -1,0 +1,534 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/slo"
+	"repro/internal/trace/telemetry"
+)
+
+// ObsBenchOptions shape the observer-overhead benchmark: the same
+// EF/BE wire load as RunBench, run in alternating bare and observed
+// phases. The observability plane (sampler + alert rules + runtime
+// collector + SLO tracker + profiler + a live scraper hitting
+// /metrics, /debug/qos and /events) is brought up once and stays
+// resident for the whole run — the production shape, where the plane
+// outlives any burst of traffic and a capture cooldown rate-limits
+// profiling — and is paused to full quiescence during the bare phases
+// so they measure a genuinely unobserved system.
+type ObsBenchOptions struct {
+	// Duration of each measured phase (default 2s).
+	Duration time.Duration
+	// Iterations repeats the off/on phase pair (default 11). The
+	// reported overhead is the median of the per-iteration paired p99
+	// ratios: the two phases of a pair run back to back, so a
+	// same-host interference burst (CPU steal on a shared VM, an I/O
+	// stall) lands inside one pair and is discarded by the median
+	// instead of polluting the verdict. The rendered EF reports pool
+	// every iteration's samples for the absolute numbers.
+	Iterations int
+	// EFHz / BEHz are offered rates (defaults 400 / 1200 req/s).
+	EFHz, BEHz int
+	// Service is the servant's simulated per-request work (default 1ms).
+	Service time.Duration
+	// EFWorkers / BEWorkers size the two lanes (defaults 2 / 1).
+	EFWorkers, BEWorkers int
+	// QueueLimit bounds each lane's queue (default 256).
+	QueueLimit int
+	// Payload is the request body size (default 64 bytes).
+	Payload int
+	// SampleEvery is the wall sampler period (default 100ms).
+	SampleEvery time.Duration
+	// ScrapeEvery is the live scraper's poll period (default 1.5s).
+	// Each poll fetches one endpoint, alternating /metrics and
+	// /debug/qos the way a real scraper spreads its targets, so a poll
+	// is one bounded burst of render work rather than several
+	// back-to-back.
+	ScrapeEvery time.Duration
+	// ProfileDir holds captured profiles; empty uses a temp directory
+	// removed when the benchmark finishes.
+	ProfileDir string
+}
+
+// ObsBenchResult is the benchmark outcome: the EF/BE reports of both
+// phases, the relative EF p99 cost of the observer stack, and evidence
+// that every observer actually ran during the observed phases.
+type ObsBenchResult struct {
+	Duration time.Duration
+	// Iterations is how many off/on phase pairs ran.
+	Iterations int
+	// OffEF/OffBE: observers off; OnEF/OnBE: full stack on. The EF
+	// reports pool the samples of every iteration on that side.
+	OffEF, OffBE, OnEF, OnBE ClassReport
+	// OverheadP99 is the median over iterations of the paired
+	// (on - off) / off EF p99 ratio — robust to interference bursts
+	// that hit a single pair (see ObsBenchOptions.Iterations).
+	OverheadP99 float64
+	// Observer-activity evidence, cumulative across observed phases.
+	SamplerTicks    int     // wall sampler windows closed
+	RuntimeSeries   int     // go.* instruments present in the registry
+	ProfileCaptures float64 // pprof captures written (cpu + heap)
+	AlertProfile    bool    // an alert-triggered CPU capture completed
+	EventsStreamed  int     // records received over /events
+	Scrapes         int     // /metrics + /debug/qos polls served
+}
+
+// Render prints the benchmark outcome.
+func (r *ObsBenchResult) Render() string {
+	out := "observers off:\n" + RenderReports([]ClassReport{r.OffEF, r.OffBE})
+	out += "observers on (sampler+runtime+slo+profiler+scraper):\n"
+	out += RenderReports([]ClassReport{r.OnEF, r.OnBE})
+	out += fmt.Sprintf("  EF p99 off=%.3fms on=%.3fms (pooled over %d iterations), paired-median overhead=%.1f%%\n",
+		r.OffEF.Latency.P99, r.OnEF.Latency.P99, r.Iterations, r.OverheadP99*100)
+	out += fmt.Sprintf("  observers: ticks=%d go_series=%d profiles=%g alert_profile=%v events=%d scrapes=%d\n",
+		r.SamplerTicks, r.RuntimeSeries, r.ProfileCaptures, r.AlertProfile, r.EventsStreamed, r.Scrapes)
+	return out
+}
+
+// sloInvoker feeds EF call outcomes into a wall-clock SLO tracker on
+// the way through to the real client.
+type sloInvoker struct {
+	inner Invoker
+	st    *slo.Tracker
+}
+
+func (v sloInvoker) Invoke(key, op string, body []byte, opts CallOptions) ([]byte, error) {
+	start := time.Now()
+	b, err := v.inner.Invoke(key, op, body, opts)
+	if opts.Priority >= EFPriority {
+		if err != nil {
+			v.st.Observe(false)
+		} else {
+			v.st.ObserveLatency(time.Since(start))
+		}
+	}
+	return b, err
+}
+
+// RunObsBench measures the observer stack's cost: EF p99 with the full
+// wall-clock observability plane running vs. a bare run of the same
+// load. The paper-shaped claim: monitoring that drives adaptation must
+// be cheap enough to leave on, so the EF tail should move by at most a
+// few percent.
+func RunObsBench(o ObsBenchOptions) (*ObsBenchResult, error) {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 11
+	}
+	if o.EFHz <= 0 {
+		o.EFHz = 400
+	}
+	if o.BEHz <= 0 {
+		o.BEHz = 1200
+	}
+	if o.Service <= 0 {
+		o.Service = time.Millisecond
+	}
+	if o.EFWorkers <= 0 {
+		o.EFWorkers = 2
+	}
+	if o.BEWorkers <= 0 {
+		o.BEWorkers = 1
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 256
+	}
+	if o.Payload <= 0 {
+		o.Payload = 64
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 100 * time.Millisecond
+	}
+	if o.ScrapeEvery <= 0 {
+		o.ScrapeEvery = 1500 * time.Millisecond
+	}
+	if o.ProfileDir == "" {
+		dir, err := os.MkdirTemp("", "qosbench-obs-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		o.ProfileDir = dir
+	}
+
+	// Warm the CPU-profile encoder before anything is measured: the
+	// first capture in a process walks the binary's symbol tables to
+	// build the profile's function/location records, a one-time cost
+	// that would otherwise land inside the first observed phase.
+	if err := pprof.StartCPUProfile(io.Discard); err == nil {
+		time.Sleep(10 * time.Millisecond)
+		pprof.StopCPUProfile()
+	}
+
+	plane, err := startObsPlane(o)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ObsBenchResult{Iterations: o.Iterations}
+	start := time.Now()
+	var offPool, onPool pooledClass
+	var ratios []float64
+	for i := 0; i < o.Iterations; i++ {
+		offEF, offBE, err := obsPhase(o, nil)
+		if err != nil {
+			plane.shutdown()
+			return nil, err
+		}
+		offPool.add(offEF)
+		onEF, onBE, err := obsPhase(o, plane)
+		if err != nil {
+			plane.shutdown()
+			return nil, err
+		}
+		onPool.add(onEF)
+		if off := offEF.Latency.P99; off > 0 {
+			ratios = append(ratios, (onEF.Latency.P99-off)/off)
+		}
+		// BE reports come from the last iteration; their differences
+		// across iterations are noise.
+		res.OffBE, res.OnBE = offBE, onBE
+	}
+	obs := plane.shutdown()
+	loadPerSide := time.Duration(o.Iterations) * o.Duration
+	res.OffEF = offPool.report(loadPerSide)
+	res.OnEF = onPool.report(loadPerSide)
+	res.Duration = time.Since(start)
+	res.SamplerTicks = obs.ticks
+	res.RuntimeSeries = obs.runtimeSeries
+	res.ProfileCaptures = obs.captures
+	res.AlertProfile = obs.alertProfile
+	res.EventsStreamed = obs.eventsSeen
+	res.Scrapes = obs.scrapes
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		res.OverheadP99 = ratios[len(ratios)/2]
+	}
+	return res, nil
+}
+
+// pooledClass accumulates one class's counters and raw samples across
+// iterations, so percentiles come from one large pooled distribution
+// instead of an aggregate of small-sample estimates.
+type pooledClass struct {
+	rep ClassReport
+}
+
+func (p *pooledClass) add(r ClassReport) {
+	if p.rep.Errors == nil {
+		p.rep.Name = r.Name
+		p.rep.Errors = make(map[string]int64)
+	}
+	p.rep.Offered += r.Offered
+	p.rep.Completed += r.Completed
+	p.rep.OK += r.OK
+	for k, v := range r.Errors {
+		p.rep.Errors[k] += v
+	}
+	p.rep.RawMs = append(p.rep.RawMs, r.RawMs...)
+}
+
+func (p *pooledClass) report(loaded time.Duration) ClassReport {
+	r := p.rep
+	r.Latency = metrics.Summarize(r.RawMs)
+	if secs := loaded.Seconds(); secs > 0 {
+		r.Throughput = float64(r.OK) / secs
+	}
+	return r
+}
+
+// obsStats is the observer-activity evidence gathered by the plane.
+type obsStats struct {
+	ticks         int
+	runtimeSeries int
+	captures      float64
+	alertProfile  bool
+	eventsSeen    int
+	scrapes       int
+}
+
+// obsPlane is the benchmark's resident observability stack: one
+// registry, bus, sampler, SLO tracker, profiler and HTTP endpoint live
+// for the whole run, and each observed phase's fresh server/client is
+// attached to them. Between phases the plane is paused — sampler, SLO
+// ticker and scraper stopped — so bare phases run fully unobserved,
+// while the profiler stays armed across phases, letting its capture
+// cooldown do what it does in production: the hot-EF alert triggers
+// one CPU capture when it first fires, not one per burst of traffic.
+type obsPlane struct {
+	o       ObsBenchOptions
+	reg     *telemetry.Registry
+	bus     *events.Bus
+	sampler *monitor.Sampler
+	st      *slo.Tracker
+	prof    *monitor.Profiler
+
+	url      string
+	stopHTTP func()
+
+	mu  sync.Mutex // guards srv/cli, swapped per observed phase
+	srv *Server
+	cli *Client
+
+	scrapeStop chan struct{}
+	scrapeDone chan struct{}
+	scrapes    int
+	scrapeTick int // alternates the scraped endpoint across phases
+
+	eventsDone chan struct{}
+	eventsSeen int
+
+	alertCPU atomic.Bool
+}
+
+func startObsPlane(o ObsBenchOptions) (*obsPlane, error) {
+	p := &obsPlane{o: o, reg: telemetry.NewRegistry()}
+
+	// The plane prices monitoring itself — sampler, runtime collector,
+	// SLO tracker, profiler, live scrapes — not per-request span
+	// tracing, so the tracer serves only as the shared clock anchor for
+	// bus records and is not attached to the data path.
+	tracer := NewTracer()
+	p.bus = events.NewWallBus(tracer.Elapsed)
+
+	p.sampler = monitor.NewWallSampler(p.reg, p.bus, o.SampleEvery, tracer.Elapsed)
+	rc := monitor.NewRuntimeCollector(p.reg)
+	p.sampler.AddCollector(rc.Collect)
+	// A rule that is guaranteed to fire under load, so the benchmark
+	// prices alert evaluation AND the triggered CPU capture.
+	p.sampler.AddRule(&monitor.Rule{
+		Name:      "ef_rtt_hot",
+		Series:    "wire.client.rtt_ms{band=16000}.window",
+		Stat:      monitor.StatP99,
+		Op:        monitor.Above,
+		Threshold: 0.001, // ms — any completed EF call trips it
+		For:       2,
+	})
+
+	p.st = slo.NewWallTracker(slo.Objective{
+		Name:         "ef_latency",
+		Goal:         0.999,
+		LatencyBound: 250 * time.Millisecond,
+		Pairs:        slo.ScaledPairs(2 * o.Duration),
+	}, p.bus, tracer.Elapsed)
+
+	// Alert-triggered CPU captures with a short window and a cooldown:
+	// the capture duty cycle, not the trigger plumbing, is what the
+	// data path pays for on small machines, so production-shaped
+	// captures stay brief and rate-limited. Periodic heap capture is
+	// exercised once after the measured phases (profiling an idle
+	// system is free; the capture the bench prices fires *under load*
+	// via the alert path, which the rule above guarantees).
+	prof, err := monitor.NewProfiler(monitor.ProfilerConfig{
+		Dir:         o.ProfileDir,
+		MaxFiles:    4,
+		CPUDuration: 40 * time.Millisecond,
+		Cooldown:    time.Minute,
+		Bus:         p.bus,
+		Registry:    p.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.prof = prof
+	p.bus.Subscribe(func(r events.Record) {
+		if r.Kind != events.KindProfile {
+			return
+		}
+		for _, f := range r.Fields {
+			if f.K == "kind" && f.V == "cpu" {
+				p.alertCPU.Store(true)
+			}
+		}
+	}, events.KindProfile)
+	prof.Start()
+
+	ix := monitor.NewIntrospector()
+	ix.Add("server", func() any {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.srv == nil {
+			return nil
+		}
+		return p.srv.Snapshot()
+	})
+	ix.Add("client", func() any {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.cli == nil {
+			return nil
+		}
+		return p.cli.Snapshot()
+	})
+	ix.Add("slo", func() any { return p.st.Snapshot() })
+	url, stopHTTP, err := monitor.StartHTTP("127.0.0.1:0", p.reg,
+		monitor.WithIntrospect(ix), monitor.WithEvents(p.bus))
+	if err != nil {
+		prof.Stop()
+		return nil, err
+	}
+	p.url, p.stopHTTP = url, stopHTTP
+
+	// A streaming /events consumer, counting records until shutdown.
+	p.eventsDone = make(chan struct{})
+	go func() {
+		defer close(p.eventsDone)
+		resp, rerr := http.Get("http://" + p.url + "/events")
+		if rerr != nil {
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			p.eventsSeen++
+		}
+	}()
+	return p, nil
+}
+
+// resume attaches a phase's server/client and restarts the sampler,
+// the SLO ticker and the live scraper.
+func (p *obsPlane) resume(srv *Server, cli *Client) {
+	p.mu.Lock()
+	p.srv, p.cli = srv, cli
+	p.mu.Unlock()
+	p.sampler.Start()
+	p.st.Start(p.o.SampleEvery)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	p.scrapeStop, p.scrapeDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(p.o.ScrapeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				path := "/metrics"
+				if p.scrapeTick%2 == 1 {
+					path = "/debug/qos"
+				}
+				p.scrapeTick++
+				resp, rerr := http.Get("http://" + p.url + path)
+				if rerr == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					p.scrapes++
+				}
+			}
+		}
+	}()
+}
+
+// pause stops every periodic observer so the next bare phase runs on a
+// quiescent plane, and detaches the phase's server/client.
+func (p *obsPlane) pause() {
+	close(p.scrapeStop)
+	<-p.scrapeDone
+	p.sampler.Tick() // final window
+	p.sampler.Stop()
+	p.st.Stop()
+	p.mu.Lock()
+	p.srv, p.cli = nil, nil
+	p.mu.Unlock()
+}
+
+// shutdown tears the plane down and returns the accumulated
+// observer-activity evidence.
+func (p *obsPlane) shutdown() obsStats {
+	_, _ = p.prof.CaptureHeap("post-run") // heap-capture evidence
+	p.prof.Stop()
+	p.stopHTTP() // closes the /events stream
+	<-p.eventsDone
+	var obs obsStats
+	obs.ticks = p.sampler.Ticks()
+	for _, key := range p.reg.GaugeKeys() {
+		if len(key) > 3 && key[:3] == "go." {
+			obs.runtimeSeries++
+		}
+	}
+	obs.captures = p.reg.Counter("monitor.profiler.captures", telemetry.L("kind", "cpu")).Value() +
+		p.reg.Counter("monitor.profiler.captures", telemetry.L("kind", "heap")).Value()
+	obs.alertProfile = p.alertCPU.Load()
+	obs.eventsSeen = p.eventsSeen
+	obs.scrapes = p.scrapes
+	return obs
+}
+
+// obsPhase runs one load phase: bare when plane is nil, otherwise
+// attached to the resident observability plane.
+func obsPhase(o ObsBenchOptions, plane *obsPlane) (ef, be ClassReport, err error) {
+	reg := telemetry.NewRegistry()
+	var bus *events.Bus
+	if plane != nil {
+		reg, bus = plane.reg, plane.bus
+	}
+
+	srv, err := NewServer(ServerConfig{
+		Lanes: []LaneConfig{
+			{Priority: 0, Workers: o.BEWorkers, QueueLimit: o.QueueLimit},
+			{Priority: EFPriority, Workers: o.EFWorkers, QueueLimit: o.QueueLimit},
+		},
+		Registry: reg,
+		Name:     "qosbench.obs.server",
+		Bus:      bus,
+	})
+	if err != nil {
+		return ef, be, err
+	}
+	service := o.Service
+	srv.Register("app/echo", HandlerFunc(func(req *Request) ([]byte, error) {
+		time.Sleep(service)
+		return req.Body, nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return ef, be, err
+	}
+	defer srv.Shutdown(5 * time.Second)
+
+	cli, err := NewClient(ClientConfig{
+		Addr:     addr.String(),
+		Bands:    []int16{0, EFPriority},
+		Registry: reg,
+		Name:     "qosbench.obs.client",
+		Bus:      bus,
+	})
+	if err != nil {
+		return ef, be, err
+	}
+	defer cli.Close()
+
+	var inv Invoker = cli
+	if plane != nil {
+		inv = sloInvoker{inner: cli, st: plane.st}
+		plane.resume(srv, cli)
+	}
+
+	beTimeout := 4*time.Duration(o.QueueLimit)*o.Service + time.Second
+	reports := RunLoad(inv, o.Duration, []LoadClass{
+		{Name: "EF", Priority: EFPriority, Hz: o.EFHz, Payload: o.Payload, Timeout: 500 * time.Millisecond},
+		{Name: "BE", Priority: 0, Hz: o.BEHz, Payload: o.Payload, Timeout: beTimeout},
+	})
+	if plane != nil {
+		plane.pause()
+	}
+	ef, be = reports[0], reports[1]
+	return ef, be, nil
+}

@@ -117,6 +117,11 @@ type serverLane struct {
 	ch  chan laneWork
 	// label is the priority floor as a telemetry label value.
 	label string
+	// Lifetime outcome counts, readable lock-free by Snapshot for the
+	// /debug/qos introspection endpoint.
+	served  atomic.Int64
+	refused atomic.Int64
+	shed    atomic.Int64
 }
 
 // Server is the real-socket GIOP server: an accept loop feeding
@@ -546,6 +551,7 @@ func (s *Server) ftEvictLocked() {
 // refuse sheds an arriving request with TRANSIENT minor 2 — the same
 // bytes the simulated ORB's lanes emit for an admission refusal.
 func (s *Server) refuse(c *serverConn, req *Request, id uint32, lane *serverLane, why string) {
+	lane.refused.Add(1)
 	s.reg.Counter("wire.server.refused", telemetry.L("lane", lane.label), telemetry.L("reason", why)).Inc()
 	s.publishShed(req, lane, why)
 	body := encodeException(excTransient, 2, s.order)
@@ -566,6 +572,7 @@ func (s *Server) refuse(c *serverConn, req *Request, id uint32, lane *serverLane
 // worker reached it, answering TIMEOUT — the wire counterpart of the
 // simulated lanes' deadline shedding.
 func (s *Server) shed(w laneWork, lane *serverLane) {
+	lane.shed.Add(1)
 	s.reg.Counter("wire.server.deadline_shed", telemetry.L("lane", lane.label)).Inc()
 	s.publishShed(w.req, lane, "deadline")
 	if tr := s.cfg.Tracer; tr != nil {
@@ -664,6 +671,7 @@ func (s *Server) dispatch(w laneWork, lane *serverLane, execH *telemetry.Histogr
 	if tr != nil {
 		tr.Finish(ctx, trace.String("outcome", outcome))
 	}
+	lane.served.Add(1)
 	s.reg.Counter("wire.server.dispatched", telemetry.L("lane", lane.label), telemetry.L("outcome", outcome)).Inc()
 
 	if w.req.Oneway {
