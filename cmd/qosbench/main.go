@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qosbench [-run all|fig2|fig4|fig5|fig6|fig7|table1|table2|overload|slo|ablations|wire|chaos|obs|verify]
+//	qosbench [-run all|fig2|fig4|fig5|fig6|fig7|table1|table2|overload|slo|ablations|wire|chaos|obs|pubsub|verify]
 //	         [-seed N] [-duration D] [-requests N] [-series]
 //
 // -duration scales the measured portion of each experiment; the default
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, wire, chaos, obs, verify (wire, chaos, obs and verify are explicit-only)")
+	run := flag.String("run", "all", "experiment to run: all, fig2, fig4, fig5, fig6, fig7, table1, table2, overload, slo, ablations, wire, chaos, obs, pubsub, verify (wire, chaos, obs, pubsub and verify are explicit-only)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	requests := flag.Int("requests", 0, "chaos soak request count (0 = default 10000)")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = paper scale)")
@@ -187,6 +187,21 @@ func main() {
 		emit("obs", obsStats(res))
 		ran++
 	}
+	// "pubsub" is explicit-only: a wall-clock run of the event channel
+	// under a best-effort flood, asserting the dissemination invariants
+	// hard (non-zero exit on any breach, for the CI smoke step).
+	if *run == "pubsub" {
+		r := experiments.RunPubSub(opt)
+		fmt.Println(r.Render())
+		emit("pubsub", pubsubStats(r))
+		if v := r.Violations(); len(v) > 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "pubsub invariant violated: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		ran++
+	}
 	if *run == "verify" {
 		checks := experiments.Verify(opt)
 		fmt.Println(experiments.RenderChecks(checks))
@@ -254,6 +269,17 @@ type benchStat struct {
 	SamplerTicks    int     `json:"sampler_ticks,omitempty"`
 	ProfileCaptures float64 `json:"profile_captures,omitempty"`
 	EventsStreamed  int     `json:"events_streamed,omitempty"`
+	// Pub/sub-scenario fields: loaded-over-baseline EF fan-out p99
+	// ratio, admission refusals, and drop attribution. EFDrops is a
+	// pointer so the mandatory zero still serializes.
+	FanoutP99Ratio float64 `json:"fanout_p99_ratio,omitempty"`
+	EFDrops        *int64  `json:"ef_drops,omitempty"`
+	SlowDrops      int64   `json:"slow_drops,omitempty"`
+	OtherDrops     int64   `json:"other_drops,omitempty"`
+	Refused        int64   `json:"refused,omitempty"`
+	CoalescedN     int64   `json:"coalesced,omitempty"`
+	SampledN       int64   `json:"sampled,omitempty"`
+	DropRecords    int     `json:"drop_records,omitempty"`
 }
 
 type benchFile struct {
@@ -387,6 +413,39 @@ func obsStats(r *wire.ObsBenchResult) []benchStat {
 		class("obs BE observers off", r.OffBE),
 		class("obs BE observers on", r.OnBE),
 	}
+}
+
+// pubsubStats reports the pub/sub scenario: EF fan-out percentiles for
+// the unloaded and flooded phases, with the loaded entry carrying the
+// ratio, admission, and drop-attribution evidence.
+func pubsubStats(r experiments.PubSubResult) []benchStat {
+	base := benchStat{
+		Scenario: "pubsub EF fan-out, unloaded baseline (wall clock)",
+		Samples:  r.Baseline.N,
+		P50Ms:    r.Baseline.P50 * 1e3,
+		P95Ms:    r.Baseline.P95 * 1e3,
+		P99Ms:    r.Baseline.P99 * 1e3,
+	}
+	efDrops := int64(r.EFDropped)
+	load := benchStat{
+		Scenario:       "pubsub EF fan-out under BE flood (wall clock)",
+		Samples:        r.Loaded.N,
+		P50Ms:          r.Loaded.P50 * 1e3,
+		P95Ms:          r.Loaded.P95 * 1e3,
+		P99Ms:          r.Loaded.P99 * 1e3,
+		FanoutP99Ratio: r.FanoutP99Ratio(),
+		EFDrops:        &efDrops,
+		SlowDrops:      int64(r.SlowOverflow),
+		OtherDrops:     int64(r.OtherOverflow),
+		Refused:        int64(r.Refused),
+		CoalescedN:     int64(r.Coalesced),
+		SampledN:       int64(r.Sampled),
+		DropRecords:    r.DropRecords,
+	}
+	if r.Duration > 0 {
+		load.Throughput = float64(r.EFDelivered) / r.Duration.Seconds()
+	}
+	return []benchStat{base, load}
 }
 
 // prioStats reports both receiver flows of a DiffServ priority case.

@@ -153,21 +153,65 @@ func attach(w io.Writer, addr string, follow time.Duration) error {
 	if follow <= 0 {
 		return nil
 	}
+	// The stream is followed through server restarts: an early EOF or
+	// read error triggers a reconnect with capped doubling backoff
+	// (reset after any successful read) until the follow window closes.
 	fmt.Fprintf(w, "\nevent stream (/events, following for %v):\n", follow)
-	cli := &http.Client{Timeout: 0}
+	deadline := time.Now().Add(follow)
+	const baseBackoff, maxBackoff = 250 * time.Millisecond, 2 * time.Second
+	backoff := baseBackoff
+	seen, reconnects := 0, 0
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		n, err := followEvents(w, base, remain)
+		seen += n
+		if n > 0 {
+			backoff = baseBackoff
+		}
+		if time.Until(deadline) <= 0 {
+			break
+		}
+		reconnects++
+		if err != nil {
+			fmt.Fprintf(w, "  (stream lost: %v; reconnecting in %v)\n", err, backoff)
+		} else {
+			fmt.Fprintf(w, "  (stream closed; reconnecting in %v)\n", backoff)
+		}
+		sleep := backoff
+		if d := time.Until(deadline); sleep > d {
+			sleep = d
+		}
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+	fmt.Fprintf(w, "qosmon: %d event(s), %d reconnect(s) in %v\n", seen, reconnects, follow)
+	return nil
+}
+
+// followEvents makes one /events connection and renders records until
+// the stream ends or the remaining follow window expires. It returns
+// how many records it saw; err is the connection-level failure, if any
+// (a deadline-triggered close also surfaces as a read error — the
+// caller distinguishes by checking the clock).
+func followEvents(w io.Writer, base string, remain time.Duration) (int, error) {
 	req, err := http.NewRequest(http.MethodGet, base+"/events", nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	resp, err = cli.Do(req)
+	resp, err := (&http.Client{Timeout: 0}).Do(req)
 	if err != nil {
-		return fmt.Errorf("GET /events: %w", err)
+		return 0, fmt.Errorf("GET /events: %w", err)
 	}
 	defer resp.Body.Close()
-	deadline := time.AfterFunc(follow, func() { resp.Body.Close() })
-	defer deadline.Stop()
+	cut := time.AfterFunc(remain, func() { resp.Body.Close() })
+	defer cut.Stop()
 	seen := 0
-	sc = bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		var rec monitor.RecordJSON
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
@@ -185,8 +229,7 @@ func attach(w io.Writer, addr string, follow time.Duration) error {
 		fmt.Fprintf(w, "  %s  %-9s %-12s %s\n", ts, rec.Kind, rec.Source, strings.Join(fields, " "))
 		seen++
 	}
-	fmt.Fprintf(w, "qosmon: %d event(s) in %v\n", seen, follow)
-	return nil
+	return seen, sc.Err()
 }
 
 func main() {

@@ -1,0 +1,182 @@
+// qospub is the wall-clock pub/sub tool for the event channel qosserve
+// hosts at pubsub/chan: publish a stream, subscribe and count what
+// arrives, or dump the channel's live stats.
+//
+//	qosserve -addr 127.0.0.1:7316 &
+//	qospub -mode subscribe -addr 127.0.0.1:7316 -listen 127.0.0.1:0 \
+//	       -name sub1 -topic 'camera/**' -prio 16000 -expect 100 &
+//	qospub -mode publish -addr 127.0.0.1:7316 -topic camera/front \
+//	       -evkey cam0 -prio 16000 -count 100 -hz 300
+//	qospub -mode chan-stat -addr 127.0.0.1:7316
+//
+// Publish counts TRANSIENT admission refusals separately from transport
+// errors, so a rate-limited topic is visible at the sender. Subscribe
+// runs its own wire server and asks the host to dial back; with -expect
+// it exits non-zero unless at least that many events arrived before
+// -duration ran out — the CI smoke assertion.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pubsub"
+	"repro/internal/wire"
+)
+
+func main() {
+	mode := flag.String("mode", "publish", "publish, subscribe, or chan-stat")
+	addr := flag.String("addr", "127.0.0.1:7316", "channel host TCP address")
+	key := flag.String("key", "pubsub/chan", "channel host object key")
+	topic := flag.String("topic", "camera/front", "publish: event topic; subscribe: topic glob")
+	evkey := flag.String("evkey", "", "publish: event coalescing key")
+	prio := flag.Int("prio", 0, "publish: event priority; subscribe: subscriber band")
+	count := flag.Int("count", 100, "publish: number of events")
+	hz := flag.Int("hz", 300, "publish: offered rate (0 = as fast as possible)")
+	payload := flag.Int("payload", 1024, "publish: event payload bytes")
+	name := flag.String("name", "qospub", "subscribe: subscription name")
+	listen := flag.String("listen", "127.0.0.1:0", "subscribe: consumer dial-back listen address")
+	minPrio := flag.Int("min-prio", 0, "subscribe: minimum event priority")
+	outbox := flag.Int("outbox", 64, "subscribe: host-side outbox bound")
+	policy := flag.String("policy", "drop-oldest", "subscribe: overflow policy (drop-oldest, drop-newest, coalesce, block)")
+	expect := flag.Int("expect", 0, "subscribe: exit non-zero unless this many events arrive (0 = just count)")
+	duration := flag.Duration("duration", 10*time.Second, "subscribe: how long to wait")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-invocation timeout")
+	flag.Parse()
+
+	cli, err := wire.NewClient(wire.ClientConfig{
+		Addr:  *addr,
+		Bands: []int16{0, wire.EFPriority},
+		Name:  "qospub",
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qospub: %v\n", err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+	opts := wire.CallOptions{Timeout: *timeout}
+
+	switch *mode {
+	case "publish":
+		publish(cli, *key, *topic, *evkey, int16(*prio), *count, *hz, *payload, opts)
+	case "subscribe":
+		subscribe(cli, *key, *name, *listen, *topic, int16(*minPrio), int16(*prio),
+			*outbox, *policy, *expect, *duration, opts)
+	case "chan-stat":
+		snap, err := wire.FetchChannelStats(cli, *key, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qospub: stats: %v\n", err)
+			os.Exit(1)
+		}
+		out, _ := json.MarshalIndent(snap, "", "  ")
+		fmt.Println(string(out))
+	default:
+		fmt.Fprintf(os.Stderr, "qospub: unknown mode %q\n", *mode)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// publish sends count events at hz, reporting admission refusals
+// (ErrOverload, the token bucket saying no) apart from hard errors.
+func publish(cli *wire.Client, key, topic, evkey string, prio int16, count, hz, payload int, opts wire.CallOptions) {
+	body := make([]byte, payload)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	var tick *time.Ticker
+	if hz > 0 {
+		tick = time.NewTicker(time.Second / time.Duration(hz))
+		defer tick.Stop()
+	}
+	start := time.Now()
+	var sent, refused, failed int
+	for i := 0; i < count; i++ {
+		if tick != nil {
+			<-tick.C
+		}
+		err := wire.PublishRemote(cli, key, pubsub.Event{
+			Topic: topic, Key: evkey, Priority: prio, Payload: body,
+		}, opts)
+		switch {
+		case err == nil:
+			sent++
+		case errors.Is(err, wire.ErrOverload):
+			refused++
+		default:
+			failed++
+			if failed == 1 {
+				fmt.Fprintf(os.Stderr, "qospub: publish: %v\n", err)
+			}
+		}
+	}
+	fmt.Printf("qospub: published %d, refused %d (admission), failed %d in %v\n",
+		sent, refused, failed, time.Since(start).Round(time.Millisecond))
+	if sent == 0 {
+		os.Exit(1)
+	}
+}
+
+// subscribe runs a consumer server, registers the subscription with a
+// dial-back address, and counts pushes until expect is met or the
+// deadline passes.
+func subscribe(cli *wire.Client, key, name, listen, topic string, minPrio, prio int16,
+	outbox int, policy string, expect int, duration time.Duration, opts wire.CallOptions) {
+	pol, err := pubsub.ParsePolicy(policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qospub: %v\n", err)
+		os.Exit(2)
+	}
+	srv, err := wire.NewServer(wire.ServerConfig{Name: "qospub.consumer"})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qospub: consumer: %v\n", err)
+		os.Exit(1)
+	}
+	var got atomic.Int64
+	reached := make(chan struct{})
+	srv.Register("consumer/push", wire.ConsumerHandler(func(ev pubsub.Event) {
+		if n := got.Add(1); expect > 0 && n == int64(expect) {
+			close(reached)
+		}
+	}))
+	bound, err := srv.Listen(listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qospub: listen: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Shutdown(2 * time.Second)
+
+	err = wire.SubscribeRemote(cli, key, wire.SubscribeSpec{
+		Name: name, Addr: bound.String(), ConsumerKey: "consumer/push",
+		Topic: topic, MinPriority: minPrio, Priority: prio,
+		Outbox: uint32(outbox), Policy: pol,
+	}, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qospub: subscribe: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("qospub: subscribed %q (topic %s, band %d) consuming on %s\n", name, topic, prio, bound)
+	defer wire.UnsubscribeRemote(cli, key, name, opts)
+
+	deadline := time.NewTimer(duration)
+	defer deadline.Stop()
+	if expect > 0 {
+		select {
+		case <-reached:
+		case <-deadline.C:
+		}
+	} else {
+		<-deadline.C
+	}
+	n := got.Load()
+	fmt.Printf("qospub: received %d event(s)\n", n)
+	if expect > 0 && n < int64(expect) {
+		fmt.Fprintf(os.Stderr, "qospub: expected %d event(s), got %d\n", expect, n)
+		os.Exit(1)
+	}
+}

@@ -20,7 +20,10 @@
 // returns the request body after -service worth of work (the imager
 // shape), app/media returns a -frame-size byte frame (the AV-streams
 // shape), so EF/BE tail separation measured here is directly comparable
-// to the virtual-time figures.
+// to the virtual-time figures. A real-time event channel is hosted at
+// pubsub/chan for qospub: publishes are admission-controlled, fan-out
+// rides the priority bands, and a firing alert or SLO burn degrades
+// best-effort subscribers until it resolves.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/events"
 	"repro/internal/monitor"
+	"repro/internal/pubsub"
 	"repro/internal/slo"
 	"repro/internal/trace/telemetry"
 	"repro/internal/wire"
@@ -110,6 +114,26 @@ func main() {
 		return frame, nil
 	})))
 
+	// The process also hosts a real-time event channel at pubsub/chan:
+	// qospub publishes and subscribes against it over the same banded
+	// TCP plane. Drops and lag surface on the event bus, and a firing
+	// alert or SLO burn degrades best-effort fan-out until it resolves.
+	ch := pubsub.New(pubsub.ChannelConfig{
+		Name: "qosserve", Now: tracer.Elapsed, Async: true,
+		Registry: reg, Tracer: tracer,
+	})
+	defer ch.Close()
+	chanHost, err := wire.NewChannelHost(ch, wire.ChannelHostConfig{Tracer: tracer})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qosserve: channel host: %v\n", err)
+		os.Exit(1)
+	}
+	defer chanHost.Close()
+	srv.Register("pubsub/chan", chanHost)
+	monitor.WirePubSub(bus, ch)
+	degrade := monitor.DegradePubSubOnBurn(bus, ch)
+	defer degrade.Cancel()
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qosserve: listen: %v\n", err)
@@ -156,6 +180,7 @@ func main() {
 		ix := monitor.NewIntrospector()
 		ix.Add("server", func() any { return srv.Snapshot() })
 		ix.Add("slo", func() any { return st.Snapshot() })
+		ix.Add("pubsub", func() any { return ch.Snapshot() })
 		maddr, stop, err := monitor.StartHTTP(*metricsAddr, reg,
 			monitor.WithIntrospect(ix), monitor.WithEvents(bus))
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/pubsub"
 	"repro/internal/rtos"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -30,6 +31,13 @@ type Distributor struct {
 	queue    *sim.Queue[relayItem]
 	branches []*Stream
 	thread   *rtos.Thread
+
+	// ch, when non-nil, routes the fan-out through a pub/sub channel
+	// (NewChannelDistributor): each branch is a subscriber and the relay
+	// thread publishes then pumps, so delivery order and timing match
+	// the direct path while gaining the channel's introspection.
+	ch          *pubsub.Channel
+	relayThread *rtos.Thread
 }
 
 // NewDistributor creates a distributor listening on inPort with a relay
@@ -47,6 +55,33 @@ func (s *Service) NewDistributor(inPort uint16, prio rtos.Priority) *Distributor
 	d.thread = s.host.Spawn(fmt.Sprintf("distributor-%d", inPort), prio, d.relay)
 	return d
 }
+
+// NewChannelDistributor is NewDistributor with the fan-out routed
+// through a pubsub.Channel on the kernel clock: every inbound frame is
+// published as an event (Val carries the frame and its trace context)
+// and each branch is a subscriber delivered synchronously by the relay
+// thread's pump. The direct path stays available via NewDistributor;
+// the channel path adds per-branch delivery counters and a live
+// snapshot without changing what reaches the receivers.
+func (s *Service) NewChannelDistributor(inPort uint16, prio rtos.Priority) *Distributor {
+	d := &Distributor{
+		svc:   s,
+		queue: sim.NewQueue[relayItem](),
+	}
+	d.ch = pubsub.New(pubsub.ChannelConfig{
+		Name: fmt.Sprintf("av-%d", inPort),
+		Now:  s.host.Kernel().Now,
+	})
+	d.receiver = s.CreateReceiver(inPort, prio, nil)
+	d.receiver.ctxHandler = func(f video.Frame, sentAt, recvAt sim.Time, ctx trace.SpanContext) {
+		d.queue.Put(relayItem{frame: f, ctx: ctx})
+	}
+	d.thread = s.host.Spawn(fmt.Sprintf("distributor-%d", inPort), prio, d.relayChannel)
+	return d
+}
+
+// Channel returns the fan-out channel (nil for a direct distributor).
+func (d *Distributor) Channel() *pubsub.Channel { return d.ch }
 
 // InAddr returns the address upstream senders should bind to.
 func (d *Distributor) InAddr() netsim.Addr { return d.receiver.Addr() }
@@ -66,6 +101,18 @@ func (d *Distributor) AddBranch(p *sim.Proc, outPort uint16, dst netsim.Addr, qo
 	if err != nil {
 		return nil, fmt.Errorf("avstreams: distributor branch to %v: %w", dst, err)
 	}
+	if d.ch != nil {
+		_, err := d.ch.Subscribe(pubsub.SubscriberConfig{
+			Name: fmt.Sprintf("branch-%d", outPort),
+			Deliver: func(ev pubsub.Event) {
+				it := ev.Val.(relayItem)
+				st.sendFrame(d.relayThread, it.frame, it.ctx)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("avstreams: distributor branch to %v: %w", dst, err)
+		}
+	}
 	d.branches = append(d.branches, st)
 	return st, nil
 }
@@ -78,5 +125,17 @@ func (d *Distributor) relay(t *rtos.Thread) {
 		for _, st := range d.branches {
 			st.sendFrame(t, it.frame, it.ctx)
 		}
+	}
+}
+
+// relayChannel is the channel-backed relay: publish the frame, then
+// pump every subscriber on this thread so branch sends keep the relay
+// thread's priority and simulated CPU accounting.
+func (d *Distributor) relayChannel(t *rtos.Thread) {
+	for {
+		it := d.queue.Get(t.Proc())
+		d.relayThread = t
+		_ = d.ch.Publish(pubsub.Event{Topic: "av/frames", Val: it})
+		d.ch.PumpAll()
 	}
 }

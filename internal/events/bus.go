@@ -61,6 +61,10 @@ const (
 	// by an alert/burn record); fields carry the on-disk profile path
 	// and, for triggered captures, the firing record that caused it.
 	KindProfile Kind = "profile"
+	// KindSubLag is a pub/sub subscriber's outbox crossing (or leaving)
+	// its lag high-watermark: the consumer is falling behind the
+	// channel's fan-out and its overflow policy is about to engage.
+	KindSubLag Kind = "sub_lag"
 )
 
 // Field is one ordered key/value annotation on a record.

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunPubSubSmoke runs a short wall-clock pub/sub scenario and pins
+// the isolation story: the expedited feed stays lossless while the
+// flood's losses land on admission and the slow consumer.
+func TestRunPubSubSmoke(t *testing.T) {
+	r := RunPubSub(Options{Duration: time.Second})
+	if r.Published == 0 {
+		t.Fatal("nothing published")
+	}
+	if r.EFDelivered == 0 {
+		t.Error("EF subscriber delivered nothing")
+	}
+	if r.EFDropped != 0 {
+		t.Errorf("EF subscriber dropped %d events, want 0", r.EFDropped)
+	}
+	if r.Refused == 0 {
+		t.Error("token bucket never refused the 2 kHz flood")
+	}
+	if r.SlowOverflow == 0 {
+		t.Error("slow consumer never overflowed")
+	}
+	if r.OtherOverflow != 0 {
+		t.Errorf("%d overflow drops outside the slow consumer", r.OtherOverflow)
+	}
+	if want := r.SlowOverflow + r.OtherOverflow + r.Coalesced + r.Sampled; uint64(r.DropRecords) != want {
+		t.Errorf("drop records = %d, counters say %d", r.DropRecords, want)
+	}
+	if r.LagRecords == 0 {
+		t.Error("no sub-lag records despite a saturated outbox")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "EF fan-out latency") || !strings.Contains(out, "overflow drops") {
+		t.Errorf("Render missing expected sections:\n%s", out)
+	}
+}

@@ -127,6 +127,12 @@ func FuzzDecode(f *testing.F) {
 		f.Add((&Reply{RequestID: 9, Status: StatusNoException, Body: []byte("ok")}).Marshal(order))
 		f.Add((&Reply{RequestID: 2, Status: StatusSystemException,
 			ServiceContexts: []ServiceContext{TimestampContext(42, order)}}).Marshal(order))
+		f.Add((&Request{RequestID: 11, ObjectKey: []byte("consumer/a"), Operation: "push",
+			ServiceContexts: []ServiceContext{
+				PriorityContext(16000, order),
+				EventContext("camera/frames", "cam0", 42, 16000, 123456789, order),
+			},
+			Body: []byte("frame")}).Marshal(order))
 		f.Add((&LocateRequest{RequestID: 3, ObjectKey: []byte("a/b")}).Marshal(order))
 		f.Add((&LocateReply{RequestID: 3, Status: LocateObjectHere}).Marshal(order))
 		f.Add((&CancelRequest{RequestID: 4}).Marshal(order))

@@ -112,6 +112,12 @@ const (
 	// that buffers the request (lane queue, servant dispatch) checks the
 	// remaining budget and sheds work that can no longer meet it.
 	ServiceDeadline uint32 = 0x0000_0014
+	// ServiceEventContext rides on pub/sub push invocations: it carries
+	// the event's channel-assigned sequence number, publication
+	// timestamp, priority, topic and coalescing key, so a consumer can
+	// reconstruct the full Event from a GIOP "push" whose body is just
+	// the opaque payload bytes.
+	ServiceEventContext uint32 = 0x0000_0015
 )
 
 // ServiceContext is one tagged service-context entry.
@@ -652,6 +658,54 @@ func ParseDeadlineContext(data []byte) (int64, error) {
 		return 0, fmt.Errorf("%w: deadline context: %v", ErrBadMessage, err)
 	}
 	return v, nil
+}
+
+// EventContext builds the pub/sub event service context: the CDR
+// encoding of (order octet, pad, seq, published, priority, topic, key).
+// Published is the event's publication instant in the channel clock's
+// nanoseconds; Key is the coalescing key ("" for none).
+func EventContext(topic, key string, seq uint64, priority int16, published int64, order cdr.ByteOrder) ServiceContext {
+	e := cdr.NewEncoder(order)
+	e.PutOctet(byte(order))
+	// Align the 64-bit fields to 8, as the other contexts do.
+	for e.Len()%8 != 0 {
+		e.PutOctet(0)
+	}
+	e.PutULongLong(seq)
+	e.PutLongLong(published)
+	e.PutShort(priority)
+	e.PutString(topic)
+	e.PutString(key)
+	return ServiceContext{ID: ServiceEventContext, Data: e.Bytes()}
+}
+
+// ParseEventContext extracts the pub/sub event descriptor from event
+// context data.
+func ParseEventContext(data []byte) (topic, key string, seq uint64, priority int16, published int64, err error) {
+	if len(data) < 1 {
+		return "", "", 0, 0, 0, fmt.Errorf("%w: empty event context", ErrBadMessage)
+	}
+	order := cdr.ByteOrder(data[0])
+	d := cdr.NewDecoder(data, order)
+	if _, err = d.Octet(); err != nil {
+		return "", "", 0, 0, 0, err
+	}
+	if seq, err = d.ULongLong(); err != nil {
+		return "", "", 0, 0, 0, fmt.Errorf("%w: event seq: %v", ErrBadMessage, err)
+	}
+	if published, err = d.LongLong(); err != nil {
+		return "", "", 0, 0, 0, fmt.Errorf("%w: event published: %v", ErrBadMessage, err)
+	}
+	if priority, err = d.Short(); err != nil {
+		return "", "", 0, 0, 0, fmt.Errorf("%w: event priority: %v", ErrBadMessage, err)
+	}
+	if topic, err = d.String(); err != nil {
+		return "", "", 0, 0, 0, fmt.Errorf("%w: event topic: %v", ErrBadMessage, err)
+	}
+	if key, err = d.String(); err != nil {
+		return "", "", 0, 0, 0, fmt.Errorf("%w: event key: %v", ErrBadMessage, err)
+	}
+	return topic, key, seq, priority, published, nil
 }
 
 // ParseTimestampContext extracts the send time in nanoseconds.

@@ -1,0 +1,40 @@
+package pubsub
+
+import "strings"
+
+// MatchTopic reports whether a '/'-separated topic matches a
+// subscription pattern. Patterns are matched segment-wise: a literal
+// segment matches itself, "*" matches exactly one segment, and "**"
+// matches any run of segments (including none). "**" alone therefore
+// matches every topic, "camera/*" matches "camera/front" but not
+// "camera/front/raw", and "camera/**" matches both.
+func MatchTopic(pattern, topic string) bool {
+	return matchSegs(strings.Split(pattern, "/"), strings.Split(topic, "/"))
+}
+
+func matchSegs(p, t []string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case "**":
+			if len(p) == 1 {
+				return true
+			}
+			for i := 0; i <= len(t); i++ {
+				if matchSegs(p[1:], t[i:]) {
+					return true
+				}
+			}
+			return false
+		case "*":
+			if len(t) == 0 {
+				return false
+			}
+		default:
+			if len(t) == 0 || p[0] != t[0] {
+				return false
+			}
+		}
+		p, t = p[1:], t[1:]
+	}
+	return len(t) == 0
+}

@@ -1,0 +1,38 @@
+package pubsub
+
+import "testing"
+
+func TestMatchTopic(t *testing.T) {
+	cases := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"camera/front", "camera/front", true},
+		{"camera/front", "camera/back", false},
+		{"camera/front", "camera", false},
+		{"camera/*", "camera/front", true},
+		{"camera/*", "camera/front/raw", false},
+		{"camera/*", "camera", false},
+		{"camera/**", "camera/front", true},
+		{"camera/**", "camera/front/raw", true},
+		{"camera/**", "camera", true}, // ** matches zero segments
+		{"camera/**", "audio/mic", false},
+		{"**", "anything/at/all", true},
+		{"**", "x", true},
+		{"*/front", "camera/front", true},
+		{"*/front", "camera/back", false},
+		{"**/raw", "camera/front/raw", true},
+		{"**/raw", "raw", true},
+		{"**/raw", "camera/raw/cooked", false},
+		{"a/**/z", "a/z", true},
+		{"a/**/z", "a/b/c/z", true},
+		{"a/**/z", "a/b/c", false},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := MatchTopic(c.pattern, c.topic); got != c.want {
+			t.Errorf("MatchTopic(%q, %q) = %v, want %v", c.pattern, c.topic, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,876 @@
+// Package pubsub is a real-time publish–subscribe event channel in the
+// TAO RT-Event-Service mold, layered over either clock domain the repo
+// runs in: a simulation kernel's virtual time (deterministic tests, the
+// A/V relay) or the wall clock (the TCP wire plane).
+//
+// A Channel fans prioritized, topic-addressed events out to many
+// subscribers. QoS is enforced at both ends of the channel: on the
+// publisher side, per-topic token-bucket admission refuses events when
+// a topic is saturated (the wire servant maps the refusal to CORBA
+// TRANSIENT, the same taxonomy lane admission uses); on the subscriber
+// side, every consumer owns a bounded outbox with a pluggable overflow
+// policy — DropOldest, DropNewest, CoalesceByKey for video-frame-style
+// keyed streams, Block for reliable consumers — so one slow
+// best-effort subscriber absorbs its own losses instead of
+// head-of-line-blocking EF fan-out.
+//
+// Degraded mode is the paper's adaptive-QoS contract applied to
+// dissemination: when a QuO contract region, SLO burn or monitor alert
+// asks for it (see BindContract and monitor.DegradePubSubOnBurn), BE
+// subscribers are individually downgraded to coalescing/sampled
+// delivery while EF subscribers keep their full streams.
+//
+// The package is dependency-light by design: it reports drop decisions
+// and subscriber lag through callback hooks (SetDropHook / SetLagHook)
+// rather than importing the events bus, mirroring how netsim and
+// rtcorba publish into the monitoring plane without import cycles.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/trace/telemetry"
+)
+
+// DefaultEFFloor is the CORBA priority at or above which a subscriber
+// counts as expedited-forwarding for degradation purposes (matches the
+// wire plane's EF band floor).
+const DefaultEFFloor int16 = 16000
+
+// Publish errors.
+var (
+	// ErrSaturated means per-topic admission refused the event; the wire
+	// servant maps it to CORBA TRANSIENT minor 2.
+	ErrSaturated = errors.New("pubsub: topic saturated, admission refused")
+	// ErrClosed means the channel has been closed.
+	ErrClosed = errors.New("pubsub: channel closed")
+)
+
+// Policy selects a subscriber outbox's overflow behaviour.
+type Policy int
+
+const (
+	// DropOldest evicts the oldest queued event to admit the new one:
+	// freshest-data-wins, the default for monitoring-style consumers.
+	DropOldest Policy = iota
+	// DropNewest discards the incoming event when the outbox is full,
+	// preserving the queued backlog order.
+	DropNewest
+	// CoalesceByKey replaces a queued event carrying the same Key with
+	// the new one (latest frame wins per key) and falls back to
+	// DropOldest when no queued event shares the key. Designed for
+	// video-frame-style streams where a stale frame has no value.
+	CoalesceByKey
+	// Block makes the publisher wait for outbox space — lossless
+	// delivery for reliable consumers. Only valid on async channels,
+	// where a dedicated pump goroutine guarantees the box drains.
+	Block
+)
+
+// String returns the policy's flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	case CoalesceByKey:
+		return "coalesce"
+	case Block:
+		return "block"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy flag spelling.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "drop-oldest", "":
+		return DropOldest, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "coalesce":
+		return CoalesceByKey, nil
+	case "block":
+		return Block, nil
+	default:
+		return 0, fmt.Errorf("pubsub: unknown policy %q", s)
+	}
+}
+
+// Event is one published occurrence.
+type Event struct {
+	// Topic is the '/'-separated subject the event is routed by.
+	Topic string
+	// Key is the optional coalescing key (frame stream id, sensor id);
+	// CoalesceByKey outboxes keep only the latest event per key.
+	Key string
+	// Priority is the event's CORBA priority; subscribers filter on it
+	// and the wire push rides it end to end.
+	Priority int16
+	// Payload is the opaque event body as carried on the wire.
+	Payload []byte
+	// Val optionally carries an in-process payload (e.g. a video.Frame)
+	// for same-process subscribers; it never crosses the wire.
+	Val any
+	// Seq is the channel-assigned publication sequence number.
+	Seq uint64
+	// Published is the channel-clock publication instant.
+	Published sim.Time
+
+	// span is the publish span, threaded through to delivery exemplars.
+	span trace.SpanContext
+}
+
+// Tracer is the span surface the channel instruments against; the wire
+// plane's mutex-wrapped Tracer implements it. Nil disables spans.
+type Tracer interface {
+	StartRootLayer(layer, name string, attrs ...trace.Attr) trace.SpanContext
+	StartChildLayer(parent trace.SpanContext, layer, name string, attrs ...trace.Attr) trace.SpanContext
+	Finish(ctx trace.SpanContext, attrs ...trace.Attr)
+}
+
+// DropInfo describes one event the channel dropped (or folded) on a
+// subscriber's behalf; it feeds bus records and the drop hook.
+type DropInfo struct {
+	// Sub is the owning subscriber.
+	Sub string
+	// Topic is the dropped event's topic.
+	Topic string
+	// Seq is the dropped event's channel sequence number.
+	Seq uint64
+	// Reason is "overflow" (policy evicted or refused under a full
+	// outbox), "coalesced" (replaced by a fresher same-key event),
+	// "sampled" (degraded-mode sampling) or "closed".
+	Reason string
+	// Policy is the subscriber's configured overflow policy.
+	Policy Policy
+	// Depth is the outbox depth when the decision was taken.
+	Depth int
+	// At is the channel-clock decision instant.
+	At sim.Time
+}
+
+// LagInfo describes a subscriber crossing (Lagging=true) or leaving
+// (Lagging=false) its outbox lag high-watermark.
+type LagInfo struct {
+	Sub     string
+	Depth   int
+	Cap     int
+	Lagging bool
+	At      sim.Time
+}
+
+// SubscriberConfig describes one subscription.
+type SubscriberConfig struct {
+	// Name identifies the subscriber in stats, labels and records.
+	Name string
+	// Topic is the subscription's topic glob (see MatchTopic).
+	Topic string
+	// MinPriority filters out events below this priority.
+	MinPriority int16
+	// Priority is the subscriber's own band: >= the channel's EF floor
+	// marks it expedited (exempt from degradation), below marks it BE.
+	Priority int16
+	// Outbox bounds the subscriber's queue (default 64).
+	Outbox int
+	// Policy is the outbox overflow policy.
+	Policy Policy
+	// SampleEvery is the degraded-mode sampling stride for un-keyed
+	// events: keep one event in every SampleEvery (default 2).
+	SampleEvery int
+	// Deliver consumes one event. Async channels call it from the
+	// subscriber's pump goroutine; manual channels from PumpOne/PumpAll.
+	Deliver func(Event)
+}
+
+// ChannelConfig configures a channel.
+type ChannelConfig struct {
+	// Name labels the channel in spans, stats and telemetry.
+	Name string
+	// Now is the channel clock. Nil means wall clock anchored at
+	// creation; pass the kernel's Now for simulation channels or the
+	// wire tracer's Elapsed to share the wire plane's time base.
+	Now func() sim.Time
+	// Async runs one pump goroutine per subscriber. When false the
+	// caller drains outboxes explicitly with PumpOne/PumpAll — the
+	// deterministic mode simulation tests and the A/V relay use.
+	Async bool
+	// EFFloor is the priority at or above which subscribers are exempt
+	// from degradation (default DefaultEFFloor).
+	EFFloor int16
+	// Registry receives pubsub.* telemetry (fresh registry if nil).
+	Registry *telemetry.Registry
+	// Tracer emits layer-"pubsub" publish spans (nil = no spans).
+	Tracer Tracer
+}
+
+// rateLimit is one per-topic token bucket; the first bucket whose
+// pattern matches a published topic admits or refuses it.
+type rateLimit struct {
+	pattern string
+	rate    float64 // tokens per second
+	burst   float64
+	tokens  float64
+	last    sim.Time
+}
+
+// Channel is a real-time pub/sub event channel.
+type Channel struct {
+	cfg  ChannelConfig
+	reg  *telemetry.Registry
+	base time.Time // wall anchor when cfg.Now is nil
+
+	mu        sync.Mutex
+	seq       uint64
+	published uint64
+	refused   uint64
+	subs      map[string]*Subscriber
+	order     []*Subscriber // deterministic fan-out order (subscription order)
+	limits    []*rateLimit
+	degraded  bool
+	closed    bool
+
+	hookMu   sync.Mutex
+	dropHook func(DropInfo)
+	lagHook  func(LagInfo)
+
+	wg sync.WaitGroup
+
+	hFanoutEF *telemetry.Histogram
+	hFanoutBE *telemetry.Histogram
+}
+
+// New creates a channel.
+func New(cfg ChannelConfig) *Channel {
+	if cfg.Name == "" {
+		cfg.Name = "chan"
+	}
+	if cfg.EFFloor == 0 {
+		cfg.EFFloor = DefaultEFFloor
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	c := &Channel{
+		cfg:  cfg,
+		reg:  cfg.Registry,
+		base: time.Now(),
+		subs: make(map[string]*Subscriber),
+	}
+	c.hFanoutEF = c.reg.Histogram("pubsub.fanout_ms", telemetry.L("band", "ef"))
+	c.hFanoutBE = c.reg.Histogram("pubsub.fanout_ms", telemetry.L("band", "be"))
+	return c
+}
+
+// Now returns the channel clock reading.
+func (c *Channel) Now() sim.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return sim.Time(time.Since(c.base))
+}
+
+// Name returns the channel's configured name.
+func (c *Channel) Name() string { return c.cfg.Name }
+
+// Async reports whether subscribers are pumped by their own goroutines.
+func (c *Channel) Async() bool { return c.cfg.Async }
+
+// Registry returns the channel's telemetry registry.
+func (c *Channel) Registry() *telemetry.Registry { return c.reg }
+
+// SetDropHook installs the drop-decision callback (monitor wiring
+// publishes it as a KindDrop bus record) and returns the previous one,
+// so additional observers can chain rather than displace it. The hook
+// runs on the publishing or pumping goroutine with no channel locks
+// held.
+func (c *Channel) SetDropHook(fn func(DropInfo)) func(DropInfo) {
+	c.hookMu.Lock()
+	prev := c.dropHook
+	c.dropHook = fn
+	c.hookMu.Unlock()
+	return prev
+}
+
+// SetLagHook installs the subscriber-lag callback (monitor wiring
+// publishes it as a KindSubLag bus record) and returns the previous
+// one for chaining.
+func (c *Channel) SetLagHook(fn func(LagInfo)) func(LagInfo) {
+	c.hookMu.Lock()
+	prev := c.lagHook
+	c.lagHook = fn
+	c.hookMu.Unlock()
+	return prev
+}
+
+func (c *Channel) hooks() (func(DropInfo), func(LagInfo)) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	return c.dropHook, c.lagHook
+}
+
+// Limit installs a per-topic admission token bucket: events published
+// to topics matching pattern are admitted at rate events/second with
+// the given burst. The first matching bucket (in installation order)
+// decides; topics matching no bucket are never refused.
+func (c *Channel) Limit(pattern string, rate, burst float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limits = append(c.limits, &rateLimit{
+		pattern: pattern, rate: rate, burst: burst, tokens: burst, last: c.now(),
+	})
+}
+
+func (c *Channel) now() sim.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return sim.Time(time.Since(c.base))
+}
+
+// admit refills and spends the first matching bucket; channel lock held.
+func (c *Channel) admit(topic string, at sim.Time) bool {
+	for _, l := range c.limits {
+		if !MatchTopic(l.pattern, topic) {
+			continue
+		}
+		if dt := at - l.last; dt > 0 {
+			l.tokens += l.rate * dt.Seconds()
+			if l.tokens > l.burst {
+				l.tokens = l.burst
+			}
+			l.last = at
+		}
+		if l.tokens < 1 {
+			return false
+		}
+		l.tokens--
+		return true
+	}
+	return true
+}
+
+// Subscribe adds a subscriber and (on async channels) starts its pump.
+func (c *Channel) Subscribe(cfg SubscriberConfig) (*Subscriber, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("pubsub: subscriber needs a name")
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("pubsub: subscriber %s needs a Deliver func", cfg.Name)
+	}
+	if cfg.Policy == Block && !c.cfg.Async {
+		return nil, fmt.Errorf("pubsub: Block policy requires an async channel (manual pumps would deadlock the publisher)")
+	}
+	if cfg.Topic == "" {
+		cfg.Topic = "**"
+	}
+	if cfg.Outbox <= 0 {
+		cfg.Outbox = 64
+	}
+	if cfg.SampleEvery <= 1 {
+		cfg.SampleEvery = 2
+	}
+	s := &Subscriber{ch: c, cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
+	s.cDelivered = c.reg.Counter("pubsub.delivered", telemetry.L("sub", cfg.Name))
+	s.gDepth = c.reg.Gauge("pubsub.outbox_depth", telemetry.L("sub", cfg.Name))
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := c.subs[cfg.Name]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("pubsub: duplicate subscriber %q", cfg.Name)
+	}
+	// A subscriber joining a degraded channel inherits the downgrade.
+	s.degraded = c.degraded && cfg.Priority < c.cfg.EFFloor
+	c.subs[cfg.Name] = s
+	c.order = append(c.order, s)
+	if c.cfg.Async {
+		c.wg.Add(1)
+		go s.run()
+	}
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Unsubscribe removes a subscriber, discarding its queued events.
+func (c *Channel) Unsubscribe(name string) bool {
+	c.mu.Lock()
+	s, ok := c.subs[name]
+	if ok {
+		delete(c.subs, name)
+		for i, o := range c.order {
+			if o == s {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		s.close()
+	}
+	return ok
+}
+
+// Sub returns the named subscriber, or nil.
+func (c *Channel) Sub(name string) *Subscriber {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subs[name]
+}
+
+// Publish routes an event to every matching subscriber. It returns
+// ErrSaturated when the topic's admission bucket is empty and ErrClosed
+// after Close; a successfully admitted event is never an error, however
+// many subscriber outboxes dropped it.
+func (c *Channel) Publish(ev Event) error {
+	return c.PublishCtx(ev, trace.SpanContext{})
+}
+
+// PublishCtx is Publish with a parent span: the publish span becomes a
+// layer-"pubsub" child of parent (the wire servant passes the push
+// invocation's propagated span), or a root span when parent is invalid.
+func (c *Channel) PublishCtx(ev Event, parent trace.SpanContext) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	at := c.now()
+	if !c.admit(ev.Topic, at) {
+		c.refused++
+		c.mu.Unlock()
+		c.reg.Counter("pubsub.refused", telemetry.L("topic", ev.Topic)).Inc()
+		return fmt.Errorf("%w: topic %s", ErrSaturated, ev.Topic)
+	}
+	c.seq++
+	c.published++
+	ev.Seq = c.seq
+	ev.Published = at
+	matched := make([]*Subscriber, 0, len(c.order))
+	for _, s := range c.order {
+		if ev.Priority >= s.cfg.MinPriority && MatchTopic(s.cfg.Topic, ev.Topic) {
+			matched = append(matched, s)
+		}
+	}
+	c.mu.Unlock()
+
+	c.reg.Counter("pubsub.published").Inc()
+	if c.cfg.Tracer != nil {
+		attrs := []trace.Attr{
+			trace.String("topic", ev.Topic),
+			trace.Int("seq", int64(ev.Seq)),
+			trace.Int("matched", int64(len(matched))),
+		}
+		if parent.Valid() {
+			ev.span = c.cfg.Tracer.StartChildLayer(parent, trace.LayerPubSub, "pubsub.publish", attrs...)
+		} else {
+			ev.span = c.cfg.Tracer.StartRootLayer(trace.LayerPubSub, "pubsub.publish", attrs...)
+		}
+	}
+
+	dropHook, lagHook := c.hooks()
+	for _, s := range matched {
+		drops, lag := s.offer(ev)
+		for _, d := range drops {
+			c.countDrop(d)
+			if dropHook != nil {
+				dropHook(d)
+			}
+		}
+		if lag != nil && lagHook != nil {
+			lagHook(*lag)
+		}
+	}
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Finish(ev.span)
+	}
+	return nil
+}
+
+func (c *Channel) countDrop(d DropInfo) {
+	switch d.Reason {
+	case "coalesced":
+		c.reg.Counter("pubsub.coalesced", telemetry.L("sub", d.Sub)).Inc()
+	case "sampled":
+		c.reg.Counter("pubsub.sampled", telemetry.L("sub", d.Sub)).Inc()
+	}
+	c.reg.Counter("pubsub.dropped",
+		telemetry.L("sub", d.Sub), telemetry.L("reason", d.Reason)).Inc()
+}
+
+// SetDegraded flips the channel-wide degradation mode: every BE
+// subscriber (priority below the EF floor) is switched to
+// coalescing/sampled delivery (restored on false). EF subscribers are
+// untouched. Returns the number of subscribers toggled.
+func (c *Channel) SetDegraded(on bool) int {
+	c.mu.Lock()
+	c.degraded = on
+	targets := make([]*Subscriber, 0, len(c.order))
+	for _, s := range c.order {
+		if s.cfg.Priority < c.cfg.EFFloor {
+			targets = append(targets, s)
+		}
+	}
+	c.mu.Unlock()
+	n := 0
+	for _, s := range targets {
+		if s.SetDegraded(on) {
+			n++
+		}
+	}
+	if n > 0 {
+		state := "exit"
+		if on {
+			state = "enter"
+		}
+		c.reg.Counter("pubsub.degrade_transitions", telemetry.L("state", state)).Inc()
+	}
+	return n
+}
+
+// Degraded reports the channel-wide degradation mode.
+func (c *Channel) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// PumpAll drains every subscriber's outbox on the calling goroutine
+// (manual channels) and returns the number of events delivered.
+func (c *Channel) PumpAll() int {
+	c.mu.Lock()
+	subs := append([]*Subscriber(nil), c.order...)
+	c.mu.Unlock()
+	n := 0
+	for _, s := range subs {
+		for s.PumpOne() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close shuts the channel: publishes fail, subscribers' pumps drain
+// their remaining backlog and exit, and Close blocks until they have.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := append([]*Subscriber(nil), c.order...)
+	c.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+	c.wg.Wait()
+}
+
+// SubSnapshot is one subscriber's state for introspection.
+type SubSnapshot struct {
+	Name        string `json:"name"`
+	Topic       string `json:"topic"`
+	Priority    int16  `json:"priority"`
+	MinPriority int16  `json:"min_priority,omitempty"`
+	Policy      string `json:"policy"`
+	Outbox      int    `json:"outbox"`
+	Depth       int    `json:"depth"`
+	Delivered   uint64 `json:"delivered"`
+	Dropped     uint64 `json:"dropped"`
+	Coalesced   uint64 `json:"coalesced,omitempty"`
+	Sampled     uint64 `json:"sampled,omitempty"`
+	Degraded    bool   `json:"degraded,omitempty"`
+	Lagging     bool   `json:"lagging,omitempty"`
+}
+
+// ChannelSnapshot is the channel's introspection view (the /debug/qos
+// "pubsub" section).
+type ChannelSnapshot struct {
+	Name        string        `json:"name"`
+	Published   uint64        `json:"published"`
+	Refused     uint64        `json:"refused"`
+	Delivered   uint64        `json:"delivered"`
+	Dropped     uint64        `json:"dropped"`
+	Degraded    bool          `json:"degraded"`
+	Subscribers []SubSnapshot `json:"subscribers"`
+}
+
+// Snapshot captures the channel and per-subscriber state.
+func (c *Channel) Snapshot() ChannelSnapshot {
+	c.mu.Lock()
+	snap := ChannelSnapshot{
+		Name:      c.cfg.Name,
+		Published: c.published,
+		Refused:   c.refused,
+		Degraded:  c.degraded,
+	}
+	subs := append([]*Subscriber(nil), c.order...)
+	c.mu.Unlock()
+	for _, s := range subs {
+		ss := s.snapshot()
+		snap.Delivered += ss.Delivered
+		snap.Dropped += ss.Dropped
+		snap.Subscribers = append(snap.Subscribers, ss)
+	}
+	return snap
+}
+
+// Subscriber is one consumer's endpoint on a channel: its bounded
+// outbox, overflow policy and delivery pump.
+type Subscriber struct {
+	ch  *Channel
+	cfg SubscriberConfig
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	box  []Event
+	// degraded forces coalescing (keyed events) or 1-in-SampleEvery
+	// sampling (un-keyed) regardless of the configured policy.
+	degraded bool
+	skip     int
+	closed   bool
+	lagging  bool
+
+	delivered uint64
+	dropped   uint64
+	coalesced uint64
+	sampled   uint64
+
+	cDelivered *telemetry.Counter
+	gDepth     *telemetry.Gauge
+}
+
+// Name returns the subscriber's name.
+func (s *Subscriber) Name() string { return s.cfg.Name }
+
+// SetDegraded switches this subscriber's degraded delivery on or off,
+// reporting whether the state changed.
+func (s *Subscriber) SetDegraded(on bool) bool {
+	s.mu.Lock()
+	changed := s.degraded != on
+	s.degraded = on
+	if !on {
+		s.skip = 0
+	}
+	s.mu.Unlock()
+	return changed
+}
+
+// Degraded reports the subscriber's degraded state.
+func (s *Subscriber) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// Depth returns the current outbox depth.
+func (s *Subscriber) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.box)
+}
+
+// lagHigh is the outbox depth that marks a subscriber lagging; lagLow
+// is where the mark clears (hysteresis so one pop doesn't flap it).
+func (s *Subscriber) lagHigh() int { return (s.cfg.Outbox*4 + 4) / 5 }
+func (s *Subscriber) lagLow() int  { return s.cfg.Outbox / 2 }
+
+// offer enqueues ev per the subscriber's policy and degradation state.
+// It returns the drop decisions taken (at most one real drop plus the
+// incoming event when refused) and a lag transition if one occurred.
+// Called with no channel locks held; may block under the Block policy.
+func (s *Subscriber) offer(ev Event) (drops []DropInfo, lag *LagInfo) {
+	at := ev.Published
+	s.mu.Lock()
+	defer func() {
+		depth := len(s.box)
+		s.mu.Unlock()
+		s.gDepth.Set(float64(depth))
+	}()
+	if s.closed {
+		s.dropped++
+		return []DropInfo{s.dropLocked(ev, "closed", at)}, nil
+	}
+	degraded := s.degraded
+	if degraded && ev.Key == "" {
+		// Sampled delivery: keep one event in every SampleEvery.
+		s.skip++
+		if s.skip%s.cfg.SampleEvery != 0 {
+			s.sampled++
+			s.dropped++
+			return []DropInfo{s.dropLocked(ev, "sampled", at)}, nil
+		}
+	}
+	if (s.cfg.Policy == CoalesceByKey || degraded) && ev.Key != "" {
+		for i := len(s.box) - 1; i >= 0; i-- {
+			if s.box[i].Key == ev.Key && s.box[i].Topic == ev.Topic {
+				old := s.box[i]
+				s.box[i] = ev
+				s.coalesced++
+				s.dropped++
+				return []DropInfo{s.dropLocked(old, "coalesced", at)}, s.lagTransition(at)
+			}
+		}
+	}
+	if len(s.box) >= s.cfg.Outbox {
+		switch s.cfg.Policy {
+		case Block:
+			for len(s.box) >= s.cfg.Outbox && !s.closed {
+				s.cond.Wait()
+			}
+			if s.closed {
+				s.dropped++
+				return []DropInfo{s.dropLocked(ev, "closed", at)}, nil
+			}
+		case DropNewest:
+			s.dropped++
+			return []DropInfo{s.dropLocked(ev, "overflow", at)}, nil
+		default: // DropOldest, and CoalesceByKey with no queued key match
+			old := s.box[0]
+			s.box = s.box[1:]
+			s.dropped++
+			drops = append(drops, s.dropLocked(old, "overflow", at))
+		}
+	}
+	s.box = append(s.box, ev)
+	s.cond.Broadcast()
+	return drops, s.lagTransition(at)
+}
+
+// dropLocked builds the DropInfo for ev; subscriber lock held.
+func (s *Subscriber) dropLocked(ev Event, reason string, at sim.Time) DropInfo {
+	return DropInfo{
+		Sub: s.cfg.Name, Topic: ev.Topic, Seq: ev.Seq,
+		Reason: reason, Policy: s.cfg.Policy, Depth: len(s.box), At: at,
+	}
+}
+
+// lagTransition updates the lag mark from the current depth; lock held.
+func (s *Subscriber) lagTransition(at sim.Time) *LagInfo {
+	depth := len(s.box)
+	if !s.lagging && depth >= s.lagHigh() {
+		s.lagging = true
+		return &LagInfo{Sub: s.cfg.Name, Depth: depth, Cap: s.cfg.Outbox, Lagging: true, At: at}
+	}
+	if s.lagging && depth <= s.lagLow() {
+		s.lagging = false
+		return &LagInfo{Sub: s.cfg.Name, Depth: depth, Cap: s.cfg.Outbox, Lagging: false, At: at}
+	}
+	return nil
+}
+
+// PumpOne delivers the subscriber's oldest queued event on the calling
+// goroutine, reporting whether there was one. Manual channels call it
+// (directly or via PumpAll); async channels pump themselves.
+func (s *Subscriber) PumpOne() bool {
+	s.mu.Lock()
+	if len(s.box) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	ev, lag, depth := s.popLocked()
+	s.mu.Unlock()
+	s.deliver(ev, lag, depth)
+	return true
+}
+
+// popLocked removes the head event; subscriber lock held.
+func (s *Subscriber) popLocked() (Event, *LagInfo, int) {
+	ev := s.box[0]
+	s.box[0] = Event{} // release payload references promptly
+	s.box = s.box[1:]
+	if len(s.box) == 0 {
+		s.box = nil // reset backing array so it can be collected
+	}
+	s.delivered++
+	s.cond.Broadcast() // wake Block publishers waiting for space
+	return ev, s.lagTransition(s.ch.now()), len(s.box)
+}
+
+// deliver invokes the consumer callback and records the fan-out
+// latency; no locks held.
+func (s *Subscriber) deliver(ev Event, lag *LagInfo, depth int) {
+	s.cfg.Deliver(ev)
+	s.cDelivered.Inc()
+	s.gDepth.Set(float64(depth))
+	latMs := float64(s.ch.now()-ev.Published) / float64(time.Millisecond)
+	h := s.ch.hFanoutBE
+	if s.cfg.Priority >= s.ch.cfg.EFFloor {
+		h = s.ch.hFanoutEF
+	}
+	h.ObserveEx(latMs, telemetry.Exemplar{
+		TraceID: uint64(ev.span.Trace), SpanID: uint64(ev.span.Span),
+		At: time.Duration(ev.Published),
+	})
+	if lag != nil {
+		_, lagHook := s.ch.hooks()
+		if lagHook != nil {
+			lagHook(*lag)
+		}
+	}
+}
+
+// run is the async pump: one goroutine per subscriber, so a slow
+// consumer only ever stalls its own outbox.
+func (s *Subscriber) run() {
+	defer s.ch.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.box) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.box) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		ev, lag, depth := s.popLocked()
+		s.mu.Unlock()
+		s.deliver(ev, lag, depth)
+	}
+}
+
+// close marks the subscriber closed and wakes its pump and any blocked
+// publishers. The async pump drains the remaining backlog first.
+func (s *Subscriber) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// snapshot captures the subscriber's stats.
+func (s *Subscriber) snapshot() SubSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubSnapshot{
+		Name:        s.cfg.Name,
+		Topic:       s.cfg.Topic,
+		Priority:    s.cfg.Priority,
+		MinPriority: s.cfg.MinPriority,
+		Policy:      s.cfg.Policy.String(),
+		Outbox:      s.cfg.Outbox,
+		Depth:       len(s.box),
+		Delivered:   s.delivered,
+		Dropped:     s.dropped,
+		Coalesced:   s.coalesced,
+		Sampled:     s.sampled,
+		Degraded:    s.degraded,
+		Lagging:     s.lagging,
+	}
+}
+
+// Stats returns the subscriber's snapshot (exported for tests/tools).
+func (s *Subscriber) Stats() SubSnapshot { return s.snapshot() }

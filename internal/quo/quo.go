@@ -170,6 +170,17 @@ func (c *Contract) OnTransition(fn TransitionFunc) *Contract {
 	return c
 }
 
+// OnEnter registers a callback fired whenever the contract enters the
+// named region — sugar over OnTransition for adaptation hooks keyed to
+// a single region (escalate on "degraded", relax on "normal").
+func (c *Contract) OnEnter(region string, fn func(v Values)) *Contract {
+	return c.OnTransition(func(from, to string, v Values) {
+		if to == region {
+			fn(v)
+		}
+	})
+}
+
 // Region returns the current region name ("" before first evaluation).
 func (c *Contract) Region() string { return c.current }
 

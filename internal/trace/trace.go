@@ -45,6 +45,9 @@ const (
 	// (internal/wire): client invocations, connection reads, lane
 	// queueing and servant dispatch over actual TCP.
 	LayerWire = "wire"
+	// LayerPubSub tags spans emitted by the publish–subscribe event
+	// channel (internal/pubsub): admission decisions and fan-out.
+	LayerPubSub = "pubsub"
 )
 
 // TraceID identifies one causally-related span tree.

@@ -151,6 +151,10 @@ type CallOptions struct {
 	Idempotent bool
 	// FT, when set, stamps the FT request service context on the wire.
 	FT *FTRequest
+	// Contexts are additional service contexts appended verbatim after
+	// the standard QoS contexts — the pub/sub plane uses it to ride the
+	// event descriptor (ServiceEventContext) on push invocations.
+	Contexts []giop.ServiceContext
 }
 
 // NewClient builds a client. No connection is dialed until the first
@@ -337,6 +341,7 @@ func (c *Client) invokeOnce(b *clientBand, ctx trace.SpanContext, key, op string
 	if opts.FT != nil {
 		contexts = append(contexts, giop.FTRequestContext(opts.FT.Group, opts.FT.Client, opts.FT.Retention, c.order))
 	}
+	contexts = append(contexts, opts.Contexts...)
 	req := &giop.Request{
 		RequestID:        id,
 		ResponseExpected: !opts.Oneway,

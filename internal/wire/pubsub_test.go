@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/pubsub"
+	"repro/internal/trace/telemetry"
+)
+
+// pubsubLoopback builds the full remote pub/sub topology over net.Pipe:
+// a host server exposing a ChannelHost at "pubsub/chan", a consumer
+// server whose push handler feeds the returned sink, and a publisher
+// client dialed into the host. The host's push clients dial the
+// consumer server through the NewPushClient hook, so the entire
+// publish → admit → outbox → push → consume path runs socket-free.
+func pubsubLoopback(t *testing.T, ch *pubsub.Channel, sink func(pubsub.Event)) (*Client, *ChannelHost) {
+	t.Helper()
+	leakCheck(t)
+
+	consumer, err := NewServer(ServerConfig{Name: "consumer"})
+	if err != nil {
+		t.Fatalf("consumer NewServer: %v", err)
+	}
+	consumer.Register("consumer/a", ConsumerHandler(sink))
+
+	host, err := NewChannelHost(ch, ChannelHostConfig{
+		PushTimeout: time.Second,
+		NewPushClient: func(addr string) (*Client, error) {
+			return NewClient(ClientConfig{
+				Addr: addr,
+				Dial: func() (net.Conn, error) {
+					cliEnd, srvEnd := net.Pipe()
+					go consumer.ServeConn(srvEnd)
+					return cliEnd, nil
+				},
+			})
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewChannelHost: %v", err)
+	}
+
+	hostSrv, err := NewServer(ServerConfig{Name: "host"})
+	if err != nil {
+		t.Fatalf("host NewServer: %v", err)
+	}
+	hostSrv.Register("pubsub/chan", host)
+
+	cli, err := NewClient(ClientConfig{
+		Addr: "pipe",
+		Dial: func() (net.Conn, error) {
+			cliEnd, srvEnd := net.Pipe()
+			go hostSrv.ServeConn(srvEnd)
+			return cliEnd, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	t.Cleanup(func() {
+		cli.Close()
+		host.Close()
+		ch.Close()
+		hostSrv.Shutdown(2 * time.Second)
+		consumer.Shutdown(2 * time.Second)
+	})
+	return cli, host
+}
+
+// TestPubSubOverWire pins the remote path end to end: subscribe with a
+// dial-back address, publish events carrying the ServiceEventContext,
+// and verify the consumer reconstructs topic/key/seq/priority from the
+// push while the host's stats round-trip as JSON.
+func TestPubSubOverWire(t *testing.T) {
+	ch := pubsub.New(pubsub.ChannelConfig{Name: "wiretest", Async: true})
+	var mu sync.Mutex
+	var got []pubsub.Event
+	done := make(chan struct{}, 64)
+	cli, _ := pubsubLoopback(t, ch, func(ev pubsub.Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+
+	err := SubscribeRemote(cli, "pubsub/chan", SubscribeSpec{
+		Name: "sub-a", Addr: "consumer", ConsumerKey: "consumer/a",
+		Topic: "camera/**", Priority: EFPriority, Outbox: 32,
+	}, CallOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatalf("SubscribeRemote: %v", err)
+	}
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		ev := pubsub.Event{
+			Topic: "camera/front", Key: "cam0", Priority: EFPriority,
+			Payload: []byte(fmt.Sprintf("frame-%d", i)),
+		}
+		if err := PublishRemote(cli, "pubsub/chan", ev, CallOptions{Timeout: time.Second}); err != nil {
+			t.Fatalf("PublishRemote %d: %v", i, err)
+		}
+	}
+	// Filtered-out topic: no push expected.
+	if err := PublishRemote(cli, "pubsub/chan", pubsub.Event{Topic: "bulk/noise"}, CallOptions{Timeout: time.Second}); err != nil {
+		t.Fatalf("PublishRemote noise: %v", err)
+	}
+
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-time.After(3 * time.Second):
+			t.Fatalf("timed out waiting for push %d", i)
+		}
+	}
+	mu.Lock()
+	if len(got) != n {
+		t.Fatalf("consumer got %d events, want %d", len(got), n)
+	}
+	for i, ev := range got {
+		if ev.Topic != "camera/front" || ev.Key != "cam0" {
+			t.Errorf("event %d: topic=%q key=%q", i, ev.Topic, ev.Key)
+		}
+		if ev.Priority != EFPriority {
+			t.Errorf("event %d: priority=%d, want EF", i, ev.Priority)
+		}
+		if ev.Seq == 0 {
+			t.Errorf("event %d: channel seq did not propagate", i)
+		}
+		if string(ev.Payload) != fmt.Sprintf("frame-%d", i) {
+			t.Errorf("event %d: payload=%q", i, ev.Payload)
+		}
+	}
+	mu.Unlock()
+
+	snap, err := FetchChannelStats(cli, "pubsub/chan", CallOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatalf("FetchChannelStats: %v", err)
+	}
+	if snap.Name != "wiretest" || snap.Published != n+1 {
+		t.Errorf("stats = %+v, want name=wiretest published=%d", snap, n+1)
+	}
+	if len(snap.Subscribers) != 1 || snap.Subscribers[0].Name != "sub-a" {
+		t.Errorf("stats subscribers = %+v", snap.Subscribers)
+	}
+
+	if err := UnsubscribeRemote(cli, "pubsub/chan", "sub-a", CallOptions{Timeout: time.Second}); err != nil {
+		t.Fatalf("UnsubscribeRemote: %v", err)
+	}
+	if err := PublishRemote(cli, "pubsub/chan", pubsub.Event{Topic: "camera/front"}, CallOptions{Timeout: time.Second}); err != nil {
+		t.Fatalf("publish after unsubscribe: %v", err)
+	}
+	select {
+	case <-done:
+		t.Error("push delivered after unsubscribe")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestPubSubAdmissionOverWire pins the refusal taxonomy: a saturated
+// topic surfaces at the publisher as ErrOverload (TRANSIENT minor 2),
+// exactly like lane admission.
+func TestPubSubAdmissionOverWire(t *testing.T) {
+	ch := pubsub.New(pubsub.ChannelConfig{Name: "sat", Async: true, Registry: telemetry.NewRegistry()})
+	ch.Limit("bulk/**", 1, 3)
+	cli, _ := pubsubLoopback(t, ch, func(pubsub.Event) {})
+
+	var overloads int
+	for i := 0; i < 6; i++ {
+		err := PublishRemote(cli, "pubsub/chan", pubsub.Event{Topic: "bulk/data"}, CallOptions{Timeout: time.Second})
+		if errors.Is(err, ErrOverload) {
+			overloads++
+		} else if err != nil {
+			t.Fatalf("publish %d: unexpected %v", i, err)
+		}
+	}
+	if overloads != 3 {
+		t.Errorf("saw %d ErrOverload of 6 publishes at burst 3, want 3", overloads)
+	}
+	if v := ch.Registry().Counter("pubsub.refused", telemetry.L("topic", "bulk/data")).Value(); v != 3 {
+		t.Errorf("pubsub.refused = %g, want 3", v)
+	}
+}
+
+// TestSubscribeSpecRoundTrip pins the CDR codec both byte orders.
+func TestSubscribeSpecRoundTrip(t *testing.T) {
+	sp := SubscribeSpec{
+		Name: "s1", Addr: "127.0.0.1:7001", ConsumerKey: "consumer/x",
+		Topic: "a/**", MinPriority: 5, Priority: EFPriority,
+		Outbox: 128, Policy: pubsub.CoalesceByKey, SampleEvery: 4,
+	}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		body := EncodeSubscribe(sp, order)
+		got, err := DecodeSubscribe(body)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		if got != sp {
+			t.Errorf("order %d: round trip = %+v, want %+v", order, got, sp)
+		}
+	}
+}

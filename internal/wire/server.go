@@ -52,6 +52,10 @@ type Request struct {
 	Peer string
 	// Oneway reports that no reply is expected.
 	Oneway bool
+	// Contexts holds the request's raw GIOP service contexts, so
+	// servants can read application-level ones (the pub/sub event
+	// descriptor) beyond the standard QoS set parsed above.
+	Contexts []giop.ServiceContext
 
 	// ft is the at-most-once dedup key from the FT request context,
 	// valid when hasFT is set (two-way requests only).
@@ -400,6 +404,7 @@ func (s *Server) handleRequest(c *serverConn, m *giop.Request) {
 		Body:      m.Body,
 		Peer:      c.peer,
 		Oneway:    !m.ResponseExpected,
+		Contexts:  m.ServiceContexts,
 	}
 	if data, ok := giop.FindContext(m.ServiceContexts, giop.ServiceRTCorbaPriority); ok {
 		if p, err := giop.ParsePriorityContext(data); err == nil {

@@ -87,6 +87,8 @@ const (
 	excTransient      = "IDL:omg.org/CORBA/TRANSIENT:1.0"
 	excTimeout        = "IDL:omg.org/CORBA/TIMEOUT:1.0"
 	excUnknown        = "IDL:omg.org/CORBA/UNKNOWN:1.0"
+	excBadOperation   = "IDL:omg.org/CORBA/BAD_OPERATION:1.0"
+	excBadParam       = "IDL:omg.org/CORBA/BAD_PARAM:1.0"
 )
 
 // Exception is a CORBA system exception a servant returns explicitly.
@@ -205,6 +207,17 @@ func (t *Tracer) StartChild(parent trace.SpanContext, name string, attrs ...trac
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := t.tr.StartChild(parent, name, trace.LayerWire)
+	s.SetAttr(attrs...)
+	return s.Context()
+}
+
+// StartChildLayer begins a child span under parent in an explicit
+// layer — the pub/sub channel uses it for layer "pubsub" fan-out spans
+// hanging off the wire invocation that delivered the publish.
+func (t *Tracer) StartChildLayer(parent trace.SpanContext, layer, name string, attrs ...trace.Attr) trace.SpanContext {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.tr.StartChild(parent, name, layer)
 	s.SetAttr(attrs...)
 	return s.Context()
 }
